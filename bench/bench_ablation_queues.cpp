@@ -1,0 +1,66 @@
+// Ablation A3 (Section 4.2 design choice): the error priority queue.
+//
+// "Regular events in µPnP are handled on a first-come, first-served (FIFO)
+// basis, while error events are prioritized."  This bench measures the
+// queueing delay (in dispatched events ahead of it) an error event
+// experiences with and without the priority queue, under increasing regular
+// event backlogs.
+
+#include <cstdio>
+
+#include "src/rt/event_router.h"
+
+namespace micropnp {
+namespace {
+
+// Dispatch position of an error event posted behind `backlog` regular
+// events.  `prioritized=false` simulates a single shared FIFO by posting the
+// error as a regular event.
+int ErrorDispatchPosition(size_t backlog, bool prioritized) {
+  EventRouter router;
+  for (size_t i = 0; i < backlog; ++i) {
+    router.Post(0, Event::Of(kEventRead));
+  }
+  if (prioritized) {
+    router.PostError(0, Event::Of(kErrorTimeout));
+  } else {
+    // Strip the priority: enqueue a non-error stand-in at the FIFO tail.
+    router.Post(0, Event::Of(kEventTick));
+  }
+  int position = 0;
+  int error_at = -1;
+  router.ProcessAll([&](int, const Event& e) {
+    if ((prioritized && e.id == kErrorTimeout) || (!prioritized && e.id == kEventTick)) {
+      error_at = position;
+    }
+    ++position;
+  });
+  return error_at;
+}
+
+void Run() {
+  std::printf("=== A3: error priority queue vs single FIFO ===\n\n");
+  std::printf("%12s | %22s | %22s\n", "backlog", "priority queue", "single FIFO");
+  std::printf("%12s | %10s %10s | %10s %11s\n", "(events)", "position", "delay(us)", "position",
+              "delay(us)");
+  const double per_event_us =
+      static_cast<double>(kRouterEnqueueCycles + kRouterDispatchCycles) / kMcuClockHz * 1e6;
+  for (size_t backlog : {0u, 2u, 4u, 8u, 15u}) {
+    const int with = ErrorDispatchPosition(backlog, true);
+    const int without = ErrorDispatchPosition(backlog, false);
+    std::printf("%12zu | %10d %10.1f | %10d %11.1f\n", backlog, with,
+                (with + 1) * per_event_us, without, (without + 1) * per_event_us);
+  }
+  std::printf("\n-> with the priority queue an error is always dispatched next (position 0),\n");
+  std::printf("   bounding error latency at one router cycle (~%.1f us at 16 MHz) regardless\n",
+              per_event_us);
+  std::printf("   of backlog; a shared FIFO delays errors linearly behind pending I/O.\n");
+}
+
+}  // namespace
+}  // namespace micropnp
+
+int main() {
+  micropnp::Run();
+  return 0;
+}

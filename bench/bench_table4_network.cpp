@@ -1,0 +1,121 @@
+// Table 4: "Detailed analysis of peripheral announcement and driver
+// installation" — per-operation timings of the plug-in network flow in an
+// uncongested one-hop network, 10 repetitions, mean +/- stddev:
+//
+//   Generate Multicast Address   2.59 ms +/- 0.03
+//   Join Multicast Group         5.44 ms +/- 0.01
+//   Request driver              53.91 ms +/- 1.98
+//   Install 80 Byte Driver      59.50 ms +/- 9.97
+//   Advertise Peripheral        45.37 ms +/- 0.28
+//   Total time                 188.53 ms +/- 10.97
+//
+// Section 8 adds: "the complete peripheral discovery process, i.e.
+// peripheral identification, driver installation and joining of multicast
+// groups takes only 488.53 ms in a one-hop network" (= Table 4 total plus
+// the ~300 ms worst-case identification).
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/core/deployment.h"
+#include "src/core/driver_sources.h"
+#include "src/dsl/compiler.h"
+
+namespace micropnp {
+namespace {
+
+struct Samples {
+  std::vector<double> values;
+  void Add(double v) { values.push_back(v); }
+  double Mean() const {
+    double s = 0;
+    for (double v : values) {
+      s += v;
+    }
+    return values.empty() ? 0 : s / static_cast<double>(values.size());
+  }
+  double Stddev() const {
+    if (values.size() < 2) {
+      return 0;
+    }
+    const double m = Mean();
+    double s = 0;
+    for (double v : values) {
+      s += (v - m) * (v - m);
+    }
+    return std::sqrt(s / static_cast<double>(values.size() - 1));
+  }
+};
+
+void Run() {
+  std::printf("=== Table 4: peripheral announcement and driver installation ===\n");
+  std::printf("(one-hop uncongested network, 10 repetitions)\n\n");
+
+  Samples generate, join, request, install, advertise, total, ident, end_to_end;
+  size_t driver_bytes = 0;
+
+  const int kTrials = 10;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    DeploymentConfig config;
+    config.seed = 20150421 + static_cast<uint64_t>(trial);
+    Deployment deployment(config);
+    MicroPnpManager& manager = deployment.AddManager();
+    MicroPnpThing& thing = deployment.AddThing("thing");
+    MicroPnpClient& client = deployment.AddClient("client");
+    (void)manager;
+
+    // The advertisement's arrival at a client closes the flow.
+    double advert_arrival_ms = -1;
+    client.set_advertisement_listener(
+        [&](const Ip6Address&, const std::vector<AdvertisedPeripheral>&) {
+          if (advert_arrival_ms < 0) {
+            advert_arrival_ms = deployment.NowMillis();
+          }
+        });
+
+    Tmp36& sensor = deployment.MakeTmp36();
+    driver_bytes = CompileDriver(FindBundledDriver(kTmp36TypeId)->source)->SerializedSize();
+    if (!thing.Plug(0, &sensor).ok()) {
+      continue;
+    }
+    deployment.RunForMillis(2000);
+    if (!thing.last_plug_flow().has_value() || advert_arrival_ms < 0) {
+      std::printf("trial %d: flow did not complete\n", trial);
+      continue;
+    }
+    const PlugFlowMarks& marks = *thing.last_plug_flow();
+    ident.Add((marks.identified - marks.plugged).millis());
+    generate.Add((marks.address_generated - marks.identified).millis());
+    join.Add((marks.group_joined - marks.address_generated).millis());
+    request.Add((marks.driver_received - marks.group_joined).millis());
+    install.Add((marks.driver_installed - marks.driver_received).millis());
+    advertise.Add(advert_arrival_ms - marks.driver_installed.millis());
+    total.Add(advert_arrival_ms - marks.identified.millis());
+    end_to_end.Add(advert_arrival_ms - marks.plugged.millis());
+  }
+
+  std::printf("%-28s | %10s | %10s %8s\n", "operation", "paper (ms)", "mean (ms)", "stddev");
+  auto row = [](const char* name, const char* paper, const Samples& s) {
+    std::printf("%-28s | %10s | %10.2f %8.2f\n", name, paper, s.Mean(), s.Stddev());
+  };
+  row("Generate Multicast Address", "2.59", generate);
+  row("Join Multicast Group", "5.44", join);
+  row("Request driver", "53.91", request);
+  std::printf("%-28s | %10s | %10.2f %8.2f   (driver image: %zu bytes)\n",
+              "Install driver", "59.50", install.Mean(), install.Stddev(), driver_bytes);
+  row("Advertise Peripheral", "45.37", advertise);
+  row("Total time", "188.53", total);
+  std::printf("\nnote: the paper's five rows sum to 166.81 ms while its Total row reports\n");
+  std::printf("188.53 ms (+21.7 ms of unattributed overhead); our measured total matches the\n");
+  std::printf("row sum because the simulated flow has no unaccounted gaps.\n\n");
+  row("identification (Section 6.1)", "220-300", ident);
+  row("complete process (Section 8)", "488.53", end_to_end);
+}
+
+}  // namespace
+}  // namespace micropnp
+
+int main() {
+  micropnp::Run();
+  return 0;
+}

@@ -1,0 +1,29 @@
+#include "src/bus/adc.h"
+
+#include <cmath>
+
+namespace micropnp {
+
+Result<uint16_t> AdcPort::Sample() {
+  if (source_ == nullptr) {
+    return Unavailable("no analog source attached");
+  }
+  const Volts v = source_->VoltageAt(scheduler_.now());
+  const double full_scale = static_cast<double>((1u << config_.resolution_bits) - 1);
+  double normalized = v.value() / config_.vref.value();
+  if (normalized < 0.0) {
+    normalized = 0.0;
+  }
+  if (normalized > 1.0) {
+    normalized = 1.0;
+  }
+  ++conversions_;
+  return static_cast<uint16_t>(std::lround(normalized * full_scale));
+}
+
+Volts AdcPort::CodeToVoltage(uint16_t code) const {
+  const double full_scale = static_cast<double>((1u << config_.resolution_bits) - 1);
+  return Volts(config_.vref.value() * static_cast<double>(code) / full_scale);
+}
+
+}  // namespace micropnp

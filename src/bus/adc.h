@@ -1,0 +1,66 @@
+// ADC interconnect model.
+//
+// Analog peripherals (TMP36, HIH-4030) expose a voltage that the host MCU
+// samples through its analog-to-digital converter.  The model mirrors what a
+// μPnP driver author would otherwise need to know from the datasheet
+// (Section 2.2): resolution, reference voltage and conversion time.
+
+#ifndef SRC_BUS_ADC_H_
+#define SRC_BUS_ADC_H_
+
+#include <cstdint>
+
+#include "src/common/status.h"
+#include "src/common/units.h"
+#include "src/sim/clock.h"
+#include "src/sim/scheduler.h"
+
+namespace micropnp {
+
+// Something producing an analog voltage over time (a sensor output pin).
+class AnalogSource {
+ public:
+  virtual ~AnalogSource() = default;
+  virtual Volts VoltageAt(SimTime now) = 0;
+};
+
+struct AdcConfig {
+  int resolution_bits = 10;  // ATMega128RFA1: 10-bit successive approximation
+  Volts vref = Volts(3.3);
+  // 13 ADC clock cycles at 125 kHz.
+  SimDuration conversion_time = SimTime::FromMicros(104);
+};
+
+// One ADC input channel.  Sampling quantizes the attached source's voltage
+// against vref at the configured resolution.
+class AdcPort {
+ public:
+  explicit AdcPort(Scheduler& scheduler) : scheduler_(scheduler) {}
+
+  void Configure(const AdcConfig& config) { config_ = config; }
+  const AdcConfig& config() const { return config_; }
+
+  void AttachSource(AnalogSource* source) { source_ = source; }
+  void DetachSource() { source_ = nullptr; }
+  bool attached() const { return source_ != nullptr; }
+
+  // Performs one conversion at the current simulation time.  Returns the raw
+  // code in [0, 2^bits - 1]; clips out-of-range voltages.
+  Result<uint16_t> Sample();
+
+  // Converts a raw code back to the voltage the code represents.
+  Volts CodeToVoltage(uint16_t code) const;
+
+  SimDuration conversion_time() const { return config_.conversion_time; }
+  uint64_t conversions() const { return conversions_; }
+
+ private:
+  Scheduler& scheduler_;
+  AdcConfig config_;
+  AnalogSource* source_ = nullptr;
+  uint64_t conversions_ = 0;
+};
+
+}  // namespace micropnp
+
+#endif  // SRC_BUS_ADC_H_

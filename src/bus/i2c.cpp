@@ -1,0 +1,76 @@
+#include "src/bus/i2c.h"
+
+#include <algorithm>
+
+namespace micropnp {
+
+Status I2cPort::Attach(I2cDevice* device) {
+  if (device == nullptr) {
+    return InvalidArgument("null device");
+  }
+  if (FindDevice(device->address()) != nullptr) {
+    return AlreadyExists("i2c address collision");
+  }
+  devices_.push_back(device);
+  return OkStatus();
+}
+
+Status I2cPort::Detach(I2cDevice* device) {
+  auto it = std::find(devices_.begin(), devices_.end(), device);
+  if (it == devices_.end()) {
+    return NotFound("device not attached");
+  }
+  devices_.erase(it);
+  return OkStatus();
+}
+
+I2cDevice* I2cPort::FindDevice(uint8_t address) {
+  for (I2cDevice* d : devices_) {
+    if (d->address() == address) {
+      return d;
+    }
+  }
+  return nullptr;
+}
+
+Status I2cPort::Write(uint8_t address, ByteSpan data) {
+  I2cDevice* device = FindDevice(address);
+  ++transactions_;
+  if (device == nullptr) {
+    return Unavailable("address NACK");
+  }
+  return device->OnWrite(data, scheduler_.now());
+}
+
+Result<std::vector<uint8_t>> I2cPort::Read(uint8_t address, size_t count) {
+  I2cDevice* device = FindDevice(address);
+  ++transactions_;
+  if (device == nullptr) {
+    return Unavailable("address NACK");
+  }
+  return device->OnRead(count, scheduler_.now());
+}
+
+Result<std::vector<uint8_t>> I2cPort::WriteRead(uint8_t address, ByteSpan write_data,
+                                                size_t read_count) {
+  I2cDevice* device = FindDevice(address);
+  ++transactions_;
+  if (device == nullptr) {
+    return Unavailable("address NACK");
+  }
+  Status write_status = device->OnWrite(write_data, scheduler_.now());
+  if (!write_status.ok()) {
+    return write_status;
+  }
+  return device->OnRead(read_count, scheduler_.now());
+}
+
+SimDuration I2cPort::TransactionTime(size_t bytes, int starts) const {
+  // Each byte is 9 clock cycles (8 data + ACK); each start adds an address
+  // byte plus start/stop overhead (~2 cycles).
+  const double cycles =
+      9.0 * (static_cast<double>(bytes) + starts) + 2.0 * static_cast<double>(starts);
+  return SimTime::FromSeconds(cycles / static_cast<double>(config_.clock_hz));
+}
+
+}  // namespace micropnp

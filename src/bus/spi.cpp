@@ -1,0 +1,21 @@
+#include "src/bus/spi.h"
+
+namespace micropnp {
+
+Result<std::vector<uint8_t>> SpiPort::Transfer(ByteSpan tx) {
+  if (device_ == nullptr) {
+    return Unavailable("no spi device attached");
+  }
+  ++transfers_;
+  const SimTime now = scheduler_.now();
+  device_->OnSelect(now);
+  std::vector<uint8_t> rx;
+  rx.reserve(tx.size());
+  for (uint8_t b : tx) {
+    rx.push_back(device_->Exchange(b, now));
+  }
+  device_->OnDeselect(now);
+  return rx;
+}
+
+}  // namespace micropnp

@@ -1,0 +1,65 @@
+// SPI interconnect model.
+//
+// Full-duplex synchronous serial with chip-select.  μPnP's connector carries
+// MOSI/MISO/SCK (Table 1); one device per channel, selected by the mux.
+
+#ifndef SRC_BUS_SPI_H_
+#define SRC_BUS_SPI_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+#include "src/sim/clock.h"
+#include "src/sim/scheduler.h"
+
+namespace micropnp {
+
+// Device-side: exchanges one byte per clock burst (full duplex).
+class SpiDevice {
+ public:
+  virtual ~SpiDevice() = default;
+  virtual uint8_t Exchange(uint8_t mosi_byte, SimTime now) = 0;
+  // Chip-select edges let stateful devices reset their transaction state.
+  virtual void OnSelect(SimTime /*now*/) {}
+  virtual void OnDeselect(SimTime /*now*/) {}
+};
+
+struct SpiConfig {
+  uint32_t clock_hz = 1'000'000;
+  uint8_t mode = 0;  // CPOL/CPHA, 0..3
+};
+
+class SpiPort {
+ public:
+  explicit SpiPort(Scheduler& scheduler) : scheduler_(scheduler) {}
+
+  void Configure(const SpiConfig& config) { config_ = config; }
+  const SpiConfig& config() const { return config_; }
+
+  void AttachDevice(SpiDevice* device) { device_ = device; }
+  void DetachDevice() { device_ = nullptr; }
+  bool attached() const { return device_ != nullptr; }
+
+  // Asserts CS, exchanges `tx`, deasserts CS.  Returns the MISO bytes.
+  Result<std::vector<uint8_t>> Transfer(ByteSpan tx);
+
+  // Wire time for `bytes` at the configured clock.
+  SimDuration TransferTime(size_t bytes) const {
+    return SimTime::FromSeconds(8.0 * static_cast<double>(bytes) /
+                                static_cast<double>(config_.clock_hz));
+  }
+
+  uint64_t transfers() const { return transfers_; }
+
+ private:
+  Scheduler& scheduler_;
+  SpiConfig config_;
+  SpiDevice* device_ = nullptr;
+  uint64_t transfers_ = 0;
+};
+
+}  // namespace micropnp
+
+#endif  // SRC_BUS_SPI_H_

@@ -1,0 +1,35 @@
+// Peripheral interconnect kinds encapsulated by the μPnP bus (Sections 3.1,
+// Table 1).  The control board multiplexes connector pins 10..12 onto one of
+// these buses once the peripheral type is identified.
+
+#ifndef SRC_COMMON_BUS_KIND_H_
+#define SRC_COMMON_BUS_KIND_H_
+
+#include <cstdint>
+
+namespace micropnp {
+
+enum class BusKind : uint8_t {
+  kAdc = 0,
+  kI2c = 1,
+  kSpi = 2,
+  kUart = 3,
+};
+
+inline const char* BusKindName(BusKind kind) {
+  switch (kind) {
+    case BusKind::kAdc:
+      return "ADC";
+    case BusKind::kI2c:
+      return "I2C";
+    case BusKind::kSpi:
+      return "SPI";
+    case BusKind::kUart:
+      return "UART";
+  }
+  return "?";
+}
+
+}  // namespace micropnp
+
+#endif  // SRC_COMMON_BUS_KIND_H_

@@ -1,0 +1,95 @@
+#include "src/common/bytes.h"
+
+#include <algorithm>
+
+namespace micropnp {
+
+void ByteWriter::WriteString8(const std::string& s) {
+  const size_t len = std::min<size_t>(s.size(), 255);
+  WriteU8(static_cast<uint8_t>(len));
+  WriteBytes(reinterpret_cast<const uint8_t*>(s.data()), len);
+}
+
+void ByteWriter::PatchU16(size_t offset, uint16_t v) {
+  if (offset + 2 > buffer_.size()) {
+    return;
+  }
+  buffer_[offset] = static_cast<uint8_t>(v >> 8);
+  buffer_[offset + 1] = static_cast<uint8_t>(v & 0xff);
+}
+
+bool ByteReader::CheckAvailable(size_t len) {
+  if (!ok_ || pos_ + len > data_.size()) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+uint8_t ByteReader::ReadU8() {
+  if (!CheckAvailable(1)) {
+    return 0;
+  }
+  return data_[pos_++];
+}
+
+uint16_t ByteReader::ReadU16() {
+  if (!CheckAvailable(2)) {
+    return 0;
+  }
+  uint16_t v = static_cast<uint16_t>(static_cast<uint16_t>(data_[pos_]) << 8 | data_[pos_ + 1]);
+  pos_ += 2;
+  return v;
+}
+
+uint32_t ByteReader::ReadU32() {
+  if (!CheckAvailable(4)) {
+    return 0;
+  }
+  uint32_t v = (static_cast<uint32_t>(data_[pos_]) << 24) |
+               (static_cast<uint32_t>(data_[pos_ + 1]) << 16) |
+               (static_cast<uint32_t>(data_[pos_ + 2]) << 8) | static_cast<uint32_t>(data_[pos_ + 3]);
+  pos_ += 4;
+  return v;
+}
+
+uint64_t ByteReader::ReadU64() {
+  uint64_t hi = ReadU32();
+  uint64_t lo = ReadU32();
+  return (hi << 32) | lo;
+}
+
+std::vector<uint8_t> ByteReader::ReadBytes(size_t len) {
+  if (!CheckAvailable(len)) {
+    return {};
+  }
+  std::vector<uint8_t> out(data_.begin() + static_cast<ptrdiff_t>(pos_),
+                           data_.begin() + static_cast<ptrdiff_t>(pos_ + len));
+  pos_ += len;
+  return out;
+}
+
+std::string ByteReader::ReadString8() {
+  const uint8_t len = ReadU8();
+  std::vector<uint8_t> raw = ReadBytes(len);
+  return std::string(raw.begin(), raw.end());
+}
+
+void ByteReader::Skip(size_t len) {
+  if (CheckAvailable(len)) {
+    pos_ += len;
+  }
+}
+
+std::string BytesToHex(ByteSpan bytes) {
+  static const char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (uint8_t b : bytes) {
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0xf]);
+  }
+  return out;
+}
+
+}  // namespace micropnp

@@ -1,0 +1,95 @@
+// Byte-order-aware serialization helpers.
+//
+// All μPnP wire formats (driver images, protocol messages, TLV tuples) are
+// big-endian, matching network byte order on the 6LoWPAN stack.
+
+#ifndef SRC_COMMON_BYTES_H_
+#define SRC_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace micropnp {
+
+using ByteSpan = std::span<const uint8_t>;
+
+// Appends big-endian encoded integers and raw bytes to a growable buffer.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  void WriteU8(uint8_t v) { buffer_.push_back(v); }
+  void WriteU16(uint16_t v) {
+    buffer_.push_back(static_cast<uint8_t>(v >> 8));
+    buffer_.push_back(static_cast<uint8_t>(v & 0xff));
+  }
+  void WriteU32(uint32_t v) {
+    WriteU16(static_cast<uint16_t>(v >> 16));
+    WriteU16(static_cast<uint16_t>(v & 0xffff));
+  }
+  void WriteU64(uint64_t v) {
+    WriteU32(static_cast<uint32_t>(v >> 32));
+    WriteU32(static_cast<uint32_t>(v & 0xffffffffu));
+  }
+  void WriteI8(int8_t v) { WriteU8(static_cast<uint8_t>(v)); }
+  void WriteI16(int16_t v) { WriteU16(static_cast<uint16_t>(v)); }
+  void WriteI32(int32_t v) { WriteU32(static_cast<uint32_t>(v)); }
+  void WriteBytes(ByteSpan bytes) { buffer_.insert(buffer_.end(), bytes.begin(), bytes.end()); }
+  void WriteBytes(const uint8_t* data, size_t len) { WriteBytes(ByteSpan(data, len)); }
+  void WriteString8(const std::string& s);  // u8 length prefix + bytes, truncates at 255
+
+  // Overwrites a previously written big-endian u16 at `offset` (for patching
+  // length fields after the payload is known).
+  void PatchU16(size_t offset, uint16_t v);
+
+  size_t size() const { return buffer_.size(); }
+  const std::vector<uint8_t>& bytes() const { return buffer_; }
+  std::vector<uint8_t> Take() { return std::move(buffer_); }
+
+ private:
+  std::vector<uint8_t> buffer_;
+};
+
+// Reads big-endian encoded integers from a byte span.  All reads are
+// bounds-checked; a failed read poisons the reader (ok() turns false) and
+// returns zero values, so call sites may batch reads and check once.
+class ByteReader {
+ public:
+  explicit ByteReader(ByteSpan data) : data_(data) {}
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return data_.size() - pos_; }
+  size_t position() const { return pos_; }
+
+  uint8_t ReadU8();
+  uint16_t ReadU16();
+  uint32_t ReadU32();
+  uint64_t ReadU64();
+  int8_t ReadI8() { return static_cast<int8_t>(ReadU8()); }
+  int16_t ReadI16() { return static_cast<int16_t>(ReadU16()); }
+  int32_t ReadI32() { return static_cast<int32_t>(ReadU32()); }
+  // Copies `len` bytes out; returns an empty vector (and poisons) on underrun.
+  std::vector<uint8_t> ReadBytes(size_t len);
+  std::string ReadString8();
+  // Skips `len` bytes.
+  void Skip(size_t len);
+
+ private:
+  bool CheckAvailable(size_t len);
+
+  ByteSpan data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// Renders bytes as lowercase hex, e.g. {0xde, 0xad} -> "dead".
+std::string BytesToHex(ByteSpan bytes);
+
+}  // namespace micropnp
+
+#endif  // SRC_COMMON_BYTES_H_

@@ -1,0 +1,23 @@
+// CRC checksums used by driver images (CRC-16/CCITT-FALSE) and network frame
+// integrity checks (CRC-32/ISO-HDLC).
+
+#ifndef SRC_COMMON_CRC_H_
+#define SRC_COMMON_CRC_H_
+
+#include <cstdint>
+
+#include "src/common/bytes.h"
+
+namespace micropnp {
+
+// CRC-16/CCITT-FALSE: poly 0x1021, init 0xffff, no reflection, no xorout.
+// check("123456789") == 0x29b1.
+uint16_t Crc16Ccitt(ByteSpan data);
+
+// CRC-32/ISO-HDLC (the zlib CRC): poly 0x04c11db7 reflected, init 0xffffffff,
+// xorout 0xffffffff.  check("123456789") == 0xcbf43926.
+uint32_t Crc32(ByteSpan data);
+
+}  // namespace micropnp
+
+#endif  // SRC_COMMON_CRC_H_

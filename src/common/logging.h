@@ -1,0 +1,55 @@
+// Minimal leveled logger.  Defaults to warnings-and-up so tests and benches
+// stay quiet; examples turn on info logging to narrate the scenario.
+
+#ifndef SRC_COMMON_LOGGING_H_
+#define SRC_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace micropnp {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarning = 3,
+  kError = 4,
+  kNone = 5,
+};
+
+// Global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Emits one line to stderr: "[level] tag: message".
+void LogMessage(LogLevel level, const char* tag, const std::string& message);
+
+// Stream-style helper: MLOG(kInfo, "net") << "joined group " << addr;
+class LogStream {
+ public:
+  LogStream(LogLevel level, const char* tag) : level_(level), tag_(tag) {}
+  ~LogStream() {
+    if (level_ >= GetLogLevel()) {
+      LogMessage(level_, tag_, stream_.str());
+    }
+  }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    if (level_ >= GetLogLevel()) {
+      stream_ << v;
+    }
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* tag_;
+  std::ostringstream stream_;
+};
+
+#define MLOG(level, tag) ::micropnp::LogStream(::micropnp::LogLevel::level, tag)
+
+}  // namespace micropnp
+
+#endif  // SRC_COMMON_LOGGING_H_

@@ -1,0 +1,136 @@
+// Error model for the μPnP reproduction.
+//
+// The library is exception-free on all hot paths (embedded-systems idiom);
+// fallible operations return Status or Result<T>.
+
+#ifndef SRC_COMMON_STATUS_H_
+#define SRC_COMMON_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace micropnp {
+
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kUnavailable,
+  kTimeout,
+  kBusy,
+  kCorrupt,
+  kUnimplemented,
+  kInternal,
+};
+
+// Human-readable name of a status code ("ok", "timeout", ...).
+const char* StatusCodeName(StatusCode code);
+
+// A status is a code plus an optional context message.  Cheap to copy when OK
+// (empty message), explicit about failures otherwise.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  explicit Status(StatusCode code) : code_(code) {}
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "ok" or "code: message".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status(); }
+inline Status InvalidArgument(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+inline Status NotFound(std::string msg) { return Status(StatusCode::kNotFound, std::move(msg)); }
+inline Status AlreadyExists(std::string msg) {
+  return Status(StatusCode::kAlreadyExists, std::move(msg));
+}
+inline Status OutOfRange(std::string msg) { return Status(StatusCode::kOutOfRange, std::move(msg)); }
+inline Status ResourceExhausted(std::string msg) {
+  return Status(StatusCode::kResourceExhausted, std::move(msg));
+}
+inline Status FailedPrecondition(std::string msg) {
+  return Status(StatusCode::kFailedPrecondition, std::move(msg));
+}
+inline Status Unavailable(std::string msg) {
+  return Status(StatusCode::kUnavailable, std::move(msg));
+}
+inline Status TimeoutError(std::string msg) { return Status(StatusCode::kTimeout, std::move(msg)); }
+inline Status BusyError(std::string msg) { return Status(StatusCode::kBusy, std::move(msg)); }
+inline Status CorruptError(std::string msg) { return Status(StatusCode::kCorrupt, std::move(msg)); }
+inline Status Unimplemented(std::string msg) {
+  return Status(StatusCode::kUnimplemented, std::move(msg));
+}
+inline Status InternalError(std::string msg) {
+  return Status(StatusCode::kInternal, std::move(msg));
+}
+
+// Result<T>: either a value or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` and `return SomeStatus();` both
+  // work, mirroring absl::StatusOr ergonomics.
+  Result(T value) : state_(std::move(value)) {}          // NOLINT(runtime/explicit)
+  Result(Status status) : state_(std::move(status)) {    // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(state_).ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(state_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(state_);
+  }
+
+  T& value() {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  const T& value() const {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+
+  T value_or(T fallback) const { return ok() ? std::get<T>(state_) : std::move(fallback); }
+
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> state_;
+};
+
+// Propagates a non-OK status from an expression, mirroring RETURN_IF_ERROR.
+#define MICROPNP_RETURN_IF_ERROR(expr)            \
+  do {                                            \
+    ::micropnp::Status status_macro_tmp = (expr); \
+    if (!status_macro_tmp.ok()) {                 \
+      return status_macro_tmp;                    \
+    }                                             \
+  } while (false)
+
+}  // namespace micropnp
+
+#endif  // SRC_COMMON_STATUS_H_

@@ -1,0 +1,105 @@
+#include "src/common/tlv.h"
+
+namespace micropnp {
+
+Tlv Tlv::OfString(TlvType type, const std::string& s) {
+  Tlv t;
+  t.type = static_cast<uint8_t>(type);
+  t.value.assign(s.begin(), s.end());
+  if (t.value.size() > 255) {
+    t.value.resize(255);
+  }
+  return t;
+}
+
+Tlv Tlv::OfU8(TlvType type, uint8_t v) {
+  Tlv t;
+  t.type = static_cast<uint8_t>(type);
+  t.value = {v};
+  return t;
+}
+
+Tlv Tlv::OfU16(TlvType type, uint16_t v) {
+  Tlv t;
+  t.type = static_cast<uint8_t>(type);
+  t.value = {static_cast<uint8_t>(v >> 8), static_cast<uint8_t>(v & 0xff)};
+  return t;
+}
+
+Tlv Tlv::OfU32(TlvType type, uint32_t v) {
+  Tlv t;
+  t.type = static_cast<uint8_t>(type);
+  t.value = {static_cast<uint8_t>(v >> 24), static_cast<uint8_t>((v >> 16) & 0xff),
+             static_cast<uint8_t>((v >> 8) & 0xff), static_cast<uint8_t>(v & 0xff)};
+  return t;
+}
+
+std::optional<uint8_t> Tlv::AsU8() const {
+  if (value.size() != 1) {
+    return std::nullopt;
+  }
+  return value[0];
+}
+
+std::optional<uint16_t> Tlv::AsU16() const {
+  if (value.size() != 2) {
+    return std::nullopt;
+  }
+  return static_cast<uint16_t>((static_cast<uint16_t>(value[0]) << 8) | value[1]);
+}
+
+std::optional<uint32_t> Tlv::AsU32() const {
+  if (value.size() != 4) {
+    return std::nullopt;
+  }
+  return (static_cast<uint32_t>(value[0]) << 24) | (static_cast<uint32_t>(value[1]) << 16) |
+         (static_cast<uint32_t>(value[2]) << 8) | static_cast<uint32_t>(value[3]);
+}
+
+const Tlv* TlvList::Find(TlvType type) const {
+  for (const Tlv& t : tuples_) {
+    if (t.type == static_cast<uint8_t>(type)) {
+      return &t;
+    }
+  }
+  return nullptr;
+}
+
+void TlvList::Serialize(ByteWriter& writer) const {
+  writer.WriteU8(static_cast<uint8_t>(tuples_.size() > 255 ? 255 : tuples_.size()));
+  size_t count = 0;
+  for (const Tlv& t : tuples_) {
+    if (count++ == 255) {
+      break;
+    }
+    writer.WriteU8(t.type);
+    writer.WriteU8(static_cast<uint8_t>(t.value.size()));
+    writer.WriteBytes(ByteSpan(t.value.data(), t.value.size()));
+  }
+}
+
+Result<TlvList> TlvList::Parse(ByteReader& reader) {
+  TlvList list;
+  const uint8_t count = reader.ReadU8();
+  for (uint8_t i = 0; i < count; ++i) {
+    Tlv t;
+    t.type = reader.ReadU8();
+    const uint8_t len = reader.ReadU8();
+    t.value = reader.ReadBytes(len);
+    if (!reader.ok()) {
+      return CorruptError("truncated TLV list");
+    }
+    list.Add(std::move(t));
+  }
+  return list;
+}
+
+size_t TlvList::SerializedSize() const {
+  size_t size = 1;
+  for (const Tlv& t : tuples_) {
+    size += 2 + t.value.size();
+  }
+  return size;
+}
+
+}  // namespace micropnp

@@ -1,0 +1,84 @@
+// Type-Length-Value tuples, as used in μPnP advertisement and discovery
+// messages (Section 5.2.1): "a set of type-length-value (TLV) encoded tuples
+// containing extra information about each peripheral".
+//
+// Wire format of one tuple:  u8 type | u8 length | `length` value bytes.
+
+#ifndef SRC_COMMON_TLV_H_
+#define SRC_COMMON_TLV_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+
+namespace micropnp {
+
+// Well-known TLV types used by the reproduction.  The paper leaves the TLV
+// vocabulary open; these cover what the prototype needs.
+enum class TlvType : uint8_t {
+  kFriendlyName = 0x01,    // UTF-8 peripheral name, e.g. "TMP36"
+  kVendor = 0x02,          // UTF-8 vendor string
+  kUnit = 0x03,            // UTF-8 engineering unit, e.g. "degC"
+  kBusKind = 0x04,         // u8, maps to bus::BusKind
+  kDriverVersion = 0x05,   // u16 driver version
+  kChannel = 0x06,         // u8 physical channel the peripheral occupies
+  kStreamPeriodMs = 0x07,  // u32 streaming period hint
+  kLocation = 0x08,        // UTF-8 free-form deployment location
+};
+
+struct Tlv {
+  uint8_t type = 0;
+  std::vector<uint8_t> value;
+
+  static Tlv OfString(TlvType type, const std::string& s);
+  static Tlv OfU8(TlvType type, uint8_t v);
+  static Tlv OfU16(TlvType type, uint16_t v);
+  static Tlv OfU32(TlvType type, uint32_t v);
+
+  std::string AsString() const { return std::string(value.begin(), value.end()); }
+  std::optional<uint8_t> AsU8() const;
+  std::optional<uint16_t> AsU16() const;
+  std::optional<uint32_t> AsU32() const;
+
+  bool operator==(const Tlv& other) const = default;
+};
+
+// An ordered list of TLV tuples with serialization helpers.
+class TlvList {
+ public:
+  TlvList() = default;
+
+  void Add(Tlv tlv) { tuples_.push_back(std::move(tlv)); }
+  void AddString(TlvType type, const std::string& s) { Add(Tlv::OfString(type, s)); }
+  void AddU8(TlvType type, uint8_t v) { Add(Tlv::OfU8(type, v)); }
+  void AddU16(TlvType type, uint16_t v) { Add(Tlv::OfU16(type, v)); }
+  void AddU32(TlvType type, uint32_t v) { Add(Tlv::OfU32(type, v)); }
+
+  // First tuple of the given type, if present.
+  const Tlv* Find(TlvType type) const;
+
+  const std::vector<Tlv>& tuples() const { return tuples_; }
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+
+  // Serializes as: u8 count | tuples...
+  void Serialize(ByteWriter& writer) const;
+  // Parses the same format; poisons `reader` on malformed input.
+  static Result<TlvList> Parse(ByteReader& reader);
+
+  // Total serialized size in bytes.
+  size_t SerializedSize() const;
+
+  bool operator==(const TlvList& other) const = default;
+
+ private:
+  std::vector<Tlv> tuples_;
+};
+
+}  // namespace micropnp
+
+#endif  // SRC_COMMON_TLV_H_

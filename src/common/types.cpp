@@ -1,0 +1,13 @@
+#include "src/common/types.h"
+
+#include <cstdio>
+
+namespace micropnp {
+
+std::string FormatDeviceTypeId(DeviceTypeId id) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "0x%08x", id);
+  return std::string(buf);
+}
+
+}  // namespace micropnp

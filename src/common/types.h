@@ -1,0 +1,54 @@
+// Core scalar types shared across the μPnP reproduction.
+//
+// The paper assigns every peripheral *type* a 32-bit identifier produced by the
+// hardware identification circuit (Section 3) and mapped into the global μPnP
+// address space.  Channels are the physical slots on the control board.
+
+#ifndef SRC_COMMON_TYPES_H_
+#define SRC_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace micropnp {
+
+// 32-bit device *type* identifier (Section 3: four pulse intervals, one byte
+// each).  0x00000000 and 0xffffffff are reserved by the multicast addressing
+// schema (Section 5.1): "all peripherals" and "all clients" respectively.
+using DeviceTypeId = uint32_t;
+
+inline constexpr DeviceTypeId kDeviceTypeAllPeripherals = 0x00000000u;
+inline constexpr DeviceTypeId kDeviceTypeAllClients = 0xffffffffu;
+
+// Physical channel index on a μPnP control board.  The Arduino-shield
+// prototype in the paper exposes three channels (A..C, Figure 5/6).
+using ChannelId = uint8_t;
+
+inline constexpr ChannelId kInvalidChannel = 0xff;
+
+// Sequence number carried by every protocol message (Section 5.2): "All
+// messages carry a unique 16-bit unsigned sequence number".
+using SequenceNumber = uint16_t;
+
+// UDP port used by the μPnP interaction protocol (Section 5.2).
+inline constexpr uint16_t kMicroPnpUdpPort = 6030;
+
+// Returns the canonical 8-hex-digit rendering of a device type id, e.g.
+// "0xad1cbe01" as printed throughout the paper.
+std::string FormatDeviceTypeId(DeviceTypeId id);
+
+// Splits a device type id into the four identification bytes B1..B4 (B1 is
+// the most significant byte, produced by the first pulse T1).
+inline constexpr uint8_t DeviceTypeByte(DeviceTypeId id, int index) {
+  return static_cast<uint8_t>((id >> (8 * (3 - index))) & 0xffu);
+}
+
+// Recomposes a device type id from its four identification bytes.
+inline constexpr DeviceTypeId MakeDeviceTypeId(uint8_t b1, uint8_t b2, uint8_t b3, uint8_t b4) {
+  return (static_cast<DeviceTypeId>(b1) << 24) | (static_cast<DeviceTypeId>(b2) << 16) |
+         (static_cast<DeviceTypeId>(b3) << 8) | static_cast<DeviceTypeId>(b4);
+}
+
+}  // namespace micropnp
+
+#endif  // SRC_COMMON_TYPES_H_

@@ -1,0 +1,81 @@
+// Strongly-typed physical quantities for the hardware simulation.
+//
+// The identification circuit (Section 3) lives and dies by `T = k * R * C`;
+// strong types keep ohms, farads, seconds and joules from being mixed up.
+
+#ifndef SRC_COMMON_UNITS_H_
+#define SRC_COMMON_UNITS_H_
+
+#include <compare>
+#include <cstdint>
+
+namespace micropnp {
+
+// A thin strong-typedef over double.  Tag types make each quantity distinct.
+template <typename Tag>
+class Quantity {
+ public:
+  constexpr Quantity() : value_(0.0) {}
+  constexpr explicit Quantity(double value) : value_(value) {}
+
+  constexpr double value() const { return value_; }
+
+  constexpr Quantity operator+(Quantity other) const { return Quantity(value_ + other.value_); }
+  constexpr Quantity operator-(Quantity other) const { return Quantity(value_ - other.value_); }
+  constexpr Quantity operator*(double s) const { return Quantity(value_ * s); }
+  constexpr Quantity operator/(double s) const { return Quantity(value_ / s); }
+  constexpr double operator/(Quantity other) const { return value_ / other.value_; }
+  Quantity& operator+=(Quantity other) {
+    value_ += other.value_;
+    return *this;
+  }
+  Quantity& operator-=(Quantity other) {
+    value_ -= other.value_;
+    return *this;
+  }
+  constexpr auto operator<=>(const Quantity&) const = default;
+
+ private:
+  double value_;
+};
+
+struct OhmsTag {};
+struct FaradsTag {};
+struct SecondsTag {};
+struct JoulesTag {};
+struct WattsTag {};
+struct AmpsTag {};
+struct VoltsTag {};
+
+using Ohms = Quantity<OhmsTag>;
+using Farads = Quantity<FaradsTag>;
+using Seconds = Quantity<SecondsTag>;
+using Joules = Quantity<JoulesTag>;
+using Watts = Quantity<WattsTag>;
+using Amps = Quantity<AmpsTag>;
+using Volts = Quantity<VoltsTag>;
+
+// Dimension-aware combinators for the quantities we actually use.
+constexpr Seconds PulseLength(double k, Ohms r, Farads c) {
+  return Seconds(k * r.value() * c.value());
+}
+constexpr Watts Power(Volts v, Amps i) { return Watts(v.value() * i.value()); }
+constexpr Joules Energy(Watts p, Seconds t) { return Joules(p.value() * t.value()); }
+
+constexpr Ohms KiloOhms(double k) { return Ohms(k * 1e3); }
+constexpr Ohms MegaOhms(double m) { return Ohms(m * 1e6); }
+constexpr Farads NanoFarads(double n) { return Farads(n * 1e-9); }
+constexpr Farads PicoFarads(double p) { return Farads(p * 1e-12); }
+constexpr Seconds MilliSeconds(double ms) { return Seconds(ms * 1e-3); }
+constexpr Seconds MicroSeconds(double us) { return Seconds(us * 1e-6); }
+constexpr Amps MilliAmps(double ma) { return Amps(ma * 1e-3); }
+constexpr Joules MilliJoules(double mj) { return Joules(mj * 1e-3); }
+
+// Seconds in one Julian-ish year as used by the Figure 12 simulation: the
+// paper plots "1 year energy consumption"; we use 365.25 days.
+inline constexpr double kSecondsPerYear = 365.25 * 24.0 * 3600.0;
+inline constexpr double kMinutesPerYear = 365.25 * 24.0 * 60.0;
+
+}  // namespace micropnp
+
+#endif  // SRC_COMMON_UNITS_H_

@@ -1,0 +1,73 @@
+#include "src/core/address_space.h"
+
+namespace micropnp {
+
+AddressSpace::AddressSpace(const IdentCircuitConfig& circuit) : codec_(circuit) {}
+
+Result<AddressRecord> AddressSpace::RequestProvisionalAddress(const std::string& name,
+                                                              const std::string& organization,
+                                                              const std::string& email,
+                                                              const std::string& url) {
+  if (name.empty() || organization.empty() || email.empty() || url.empty()) {
+    return InvalidArgument("name, organization, email and url are all required");
+  }
+  while (records_.count(next_id_) != 0 || next_id_ == kDeviceTypeAllPeripherals ||
+         next_id_ == kDeviceTypeAllClients) {
+    ++next_id_;
+  }
+  return RegisterAddress(next_id_++, name, organization, email, url);
+}
+
+Result<AddressRecord> AddressSpace::RegisterAddress(DeviceTypeId id, const std::string& name,
+                                                    const std::string& organization,
+                                                    const std::string& email,
+                                                    const std::string& url) {
+  if (id == kDeviceTypeAllPeripherals || id == kDeviceTypeAllClients) {
+    return InvalidArgument("reserved device type id");
+  }
+  auto existing = records_.find(id);
+  if (existing != records_.end()) {
+    if (existing->second.permanent) {
+      return AlreadyExists("address is permanent and immutable");
+    }
+    return AlreadyExists("address already provisionally allocated");
+  }
+  AddressRecord record;
+  record.id = id;
+  record.name = name;
+  record.organization = organization;
+  record.email = email;
+  record.url = url;
+  record.resistors = codec_.ResistorsForId(id);  // the "online tool"
+  records_[id] = record;
+  return record;
+}
+
+Status AddressSpace::UploadDriver(DeviceTypeId id, const DriverImage& image) {
+  auto it = records_.find(id);
+  if (it == records_.end()) {
+    return NotFound("address not allocated");
+  }
+  // Validation (the paper's "manual checking", automated here).
+  if (image.device_id != id) {
+    return InvalidArgument("driver image targets a different device type");
+  }
+  if (image.FindHandler(kEventInit) == nullptr || image.FindHandler(kEventDestroy) == nullptr) {
+    return InvalidArgument("driver must handle init and destroy");
+  }
+  drivers_[id] = image;
+  it->second.permanent = true;  // promotion; further driver updates allowed
+  return OkStatus();
+}
+
+const AddressRecord* AddressSpace::Lookup(DeviceTypeId id) const {
+  auto it = records_.find(id);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+const DriverImage* AddressSpace::DriverFor(DeviceTypeId id) const {
+  auto it = drivers_.find(id);
+  return it == drivers_.end() ? nullptr : &it->second;
+}
+
+}  // namespace micropnp

@@ -1,0 +1,72 @@
+// The global μPnP address space (Section 3.3), maintained at micropnp.com.
+//
+// "Any party may request a provisional address by providing their: name,
+// organization, email address and a link to a web resource describing the
+// peripheral type.  A simple online tool then generates the resistor set
+// that is required to encode the assigned device identifier. ... A
+// peripheral address remains provisional until a µPnP device driver is
+// uploaded for the specified peripheral and validated, at which point it
+// becomes a permanent address [and] the address allocation becomes
+// immutable.  However, the device drivers associated with an address may be
+// updated at any time."
+
+#ifndef SRC_CORE_ADDRESS_SPACE_H_
+#define SRC_CORE_ADDRESS_SPACE_H_
+
+#include <array>
+#include <map>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/dsl/driver_image.h"
+#include "src/hw/id_codec.h"
+
+namespace micropnp {
+
+struct AddressRecord {
+  DeviceTypeId id = 0;
+  std::string name;
+  std::string organization;
+  std::string email;
+  std::string url;
+  bool permanent = false;
+  std::array<Ohms, 4> resistors{};  // the "online tool" output
+};
+
+class AddressSpace {
+ public:
+  explicit AddressSpace(const IdentCircuitConfig& circuit = IdentCircuitConfig{});
+
+  // Allocates the next free identifier (skipping the reserved values) and
+  // generates its resistor set.
+  Result<AddressRecord> RequestProvisionalAddress(const std::string& name,
+                                                  const std::string& organization,
+                                                  const std::string& email,
+                                                  const std::string& url);
+
+  // Registers a specific identifier (for vendors with assigned ranges).
+  Result<AddressRecord> RegisterAddress(DeviceTypeId id, const std::string& name,
+                                        const std::string& organization, const std::string& email,
+                                        const std::string& url);
+
+  // Uploading a *validated* driver promotes the address to permanent.
+  // Validation: the image parses, matches the address and handles
+  // init/destroy.  Driver updates for permanent addresses are allowed.
+  Status UploadDriver(DeviceTypeId id, const DriverImage& image);
+
+  // Permanent addresses are immutable: attempts to re-register fail.
+  const AddressRecord* Lookup(DeviceTypeId id) const;
+  const DriverImage* DriverFor(DeviceTypeId id) const;
+  size_t size() const { return records_.size(); }
+
+ private:
+  IdentCodec codec_;
+  DeviceTypeId next_id_ = 0x00000001;
+  std::map<DeviceTypeId, AddressRecord> records_;
+  std::map<DeviceTypeId, DriverImage> drivers_;
+};
+
+}  // namespace micropnp
+
+#endif  // SRC_CORE_ADDRESS_SPACE_H_

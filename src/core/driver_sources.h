@@ -1,0 +1,34 @@
+// Bundled μPnP DSL driver sources.
+//
+// These are the drivers a μPnP Manager's repository ships with (Section 3.3:
+// "Provided device drivers are integrated into the µPnP repository, allowing
+// for remote deployment on compatible devices").  The authoritative sources
+// live in /drivers/*.updl; CMake embeds them at configure time so the
+// binaries have no runtime file dependencies.
+
+#ifndef SRC_CORE_DRIVER_SOURCES_H_
+#define SRC_CORE_DRIVER_SOURCES_H_
+
+#include <span>
+
+#include "src/common/bus_kind.h"
+#include "src/common/types.h"
+
+namespace micropnp {
+
+struct BundledDriver {
+  const char* name;        // "TMP36", ...
+  DeviceTypeId device_id;  // matches the `device` declaration in the source
+  BusKind bus;
+  const char* source;      // μPnP DSL text
+};
+
+// All bundled drivers (TMP36, HIH-4030, ID-20LA, BMP180, Relay).
+std::span<const BundledDriver> BundledDrivers();
+
+// Lookup by device type; nullptr when unknown.
+const BundledDriver* FindBundledDriver(DeviceTypeId device_id);
+
+}  // namespace micropnp
+
+#endif  // SRC_CORE_DRIVER_SOURCES_H_

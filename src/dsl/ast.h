@@ -1,0 +1,158 @@
+// Abstract syntax tree of the μPnP driver DSL.
+//
+// A driver (Listing 1) is: a device-type declaration, imports of native
+// interconnect libraries, static variable declarations, compile-time
+// constants, and a set of event/error handlers containing statements.
+
+#ifndef SRC_DSL_AST_H_
+#define SRC_DSL_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace micropnp {
+
+// Storage types available to driver variables (Section 4.1: the DSL is
+// typed).  All expression evaluation happens in 32-bit integers on the VM
+// stack; stores truncate to the declared type, JVM-style.
+enum class DslType : uint8_t {
+  kUint8 = 0,
+  kUint16 = 1,
+  kUint32 = 2,
+  kInt8 = 3,
+  kInt16 = 4,
+  kInt32 = 5,
+  kBool = 6,
+  kChar = 7,
+};
+
+const char* DslTypeName(DslType type);
+
+// ----------------------------------------------------------- expressions ---
+
+enum class BinOp : uint8_t {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kShl, kShr, kBitAnd, kBitOr, kBitXor,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kLogicalAnd, kLogicalOr,
+};
+
+enum class UnOp : uint8_t { kNeg, kBitNot, kLogicalNot };
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  enum class Kind : uint8_t {
+    kIntLiteral,  // int_value
+    kVar,         // name (global, param, or const)
+    kIndex,       // name[index]  (lhs = index expression)
+    kPostIncDec,  // name++ / name--  (value is the *old* one)
+    kUnary,       // un_op applied to lhs
+    kBinary,      // bin_op applied to lhs, rhs
+  };
+
+  Kind kind;
+  int line = 0;
+  int32_t int_value = 0;
+  std::string name;
+  BinOp bin_op = BinOp::kAdd;
+  UnOp un_op = UnOp::kNeg;
+  bool increment = true;  // kPostIncDec: ++ vs --
+  ExprPtr lhs;
+  ExprPtr rhs;
+};
+
+// ------------------------------------------------------------ statements ---
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class AssignOp : uint8_t { kAssign, kAddAssign, kSubAssign };
+
+struct IfBranch {
+  ExprPtr condition;
+  std::vector<StmtPtr> body;
+};
+
+struct Stmt {
+  enum class Kind : uint8_t {
+    kAssign,   // target[index]? op= value
+    kSignal,   // signal target.event(args)
+    kIf,       // branches + optional else
+    kWhile,    // condition + body
+    kReturn,   // optional value (scalar expr or bare array name)
+    kExpr,     // expression evaluated for side effects (e.g. `idx++;`)
+  };
+
+  Kind kind;
+  int line = 0;
+
+  // kAssign
+  std::string target;
+  ExprPtr index;  // null for scalars
+  AssignOp assign_op = AssignOp::kAssign;
+  ExprPtr value;
+
+  // kSignal
+  bool signal_this = false;   // signal this.<event> vs signal <lib>.<fn>
+  std::string signal_target;  // library name when !signal_this
+  std::string signal_name;    // event / function name
+  std::vector<ExprPtr> args;
+
+  // kIf
+  std::vector<IfBranch> branches;
+  std::vector<StmtPtr> else_body;
+
+  // kWhile
+  ExprPtr condition;
+  std::vector<StmtPtr> body;
+
+  // kReturn / kExpr
+  ExprPtr expr;  // null for bare `return;`
+};
+
+// ----------------------------------------------------------- declarations --
+
+struct VarDecl {
+  DslType type;
+  std::string name;
+  int array_size = 0;  // 0 = scalar; otherwise a fixed uint8_t/char array
+  int line = 0;
+};
+
+struct ConstDecl {
+  std::string name;
+  int32_t value = 0;
+  int line = 0;
+};
+
+struct Param {
+  DslType type;
+  std::string name;
+};
+
+struct Handler {
+  bool is_error = false;
+  std::string name;
+  std::vector<Param> params;
+  std::vector<StmtPtr> body;
+  int line = 0;
+};
+
+struct DriverAst {
+  bool has_device_id = false;
+  DeviceTypeId device_id = 0;
+  std::vector<std::string> imports;
+  std::vector<ConstDecl> consts;
+  std::vector<VarDecl> vars;
+  std::vector<Handler> handlers;
+};
+
+}  // namespace micropnp
+
+#endif  // SRC_DSL_AST_H_

@@ -1,0 +1,578 @@
+#include "src/dsl/compiler.h"
+
+#include <unordered_map>
+
+#include "src/dsl/bytecode.h"
+#include "src/dsl/parser.h"
+
+namespace micropnp {
+namespace {
+
+// Resource ceilings of the embedded runtime (mirrored by the VM).
+constexpr size_t kMaxScalars = 64;
+constexpr size_t kMaxArrays = 8;
+constexpr size_t kMaxHandlers = 24;
+constexpr size_t kMaxParams = 4;
+
+// Fixed parameter counts of the well-known events.
+int WellKnownArgc(EventId id) {
+  switch (id) {
+    case kEventWrite:
+    case kEventStream:
+    case kEventNewData:
+      return 1;
+    default:
+      return 0;  // init, destroy, read, tick and all error events
+  }
+}
+
+struct GlobalInfo {
+  uint8_t slot;
+  DslType type;
+};
+
+struct ArrayInfo {
+  uint8_t index;
+  uint8_t size;
+};
+
+struct HandlerInfo {
+  EventId event;
+  uint8_t argc;
+  bool is_error;
+};
+
+class CodeGen {
+ public:
+  explicit CodeGen(const DriverAst& ast) : ast_(ast) {}
+
+  Result<DriverImage> Run() {
+    MICROPNP_RETURN_IF_ERROR(CollectDeclarations());
+    MICROPNP_RETURN_IF_ERROR(CollectHandlers());
+
+    for (const Handler& h : ast_.handlers) {
+      const HandlerInfo& info = handler_infos_.at(h.name);
+      HandlerEntry entry;
+      entry.event = info.event;
+      entry.argc = info.argc;
+      entry.offset = static_cast<uint16_t>(code_.size());
+      image_.handlers.push_back(entry);
+      MICROPNP_RETURN_IF_ERROR(EmitHandler(h));
+      if (code_.size() > 0xffff) {
+        return ResourceExhausted("driver code exceeds 64 KiB");
+      }
+    }
+    image_.code = std::move(code_);
+    return image_;
+  }
+
+ private:
+  Status ErrorOn(int line, const std::string& message) {
+    return InvalidArgument("line " + std::to_string(line) + ": " + message);
+  }
+
+  // ------------------------------------------------------------- tables ---
+  Status CollectDeclarations() {
+    if (!ast_.has_device_id) {
+      return InvalidArgument("driver must declare its device type: 'device 0x...;'");
+    }
+    image_.device_id = ast_.device_id;
+
+    for (const std::string& import : ast_.imports) {
+      const NativeLibraryDesc* lib = FindNativeLibrary(import);
+      if (lib == nullptr) {
+        return InvalidArgument("unknown native library '" + import + "'");
+      }
+      if (imports_.count(import) != 0) {
+        return InvalidArgument("duplicate import '" + import + "'");
+      }
+      imports_[import] = lib;
+      image_.imports.push_back(lib->id);
+    }
+
+    for (const ConstDecl& c : ast_.consts) {
+      consts_[c.name] = c.value;
+    }
+
+    for (const VarDecl& v : ast_.vars) {
+      if (consts_.count(v.name) != 0 || globals_.count(v.name) != 0 ||
+          arrays_.count(v.name) != 0) {
+        return ErrorOn(v.line, "duplicate declaration of '" + v.name + "'");
+      }
+      if (v.array_size == 0) {
+        if (image_.scalar_types.size() >= kMaxScalars) {
+          return ErrorOn(v.line, "too many global variables (max 64)");
+        }
+        globals_[v.name] = GlobalInfo{static_cast<uint8_t>(image_.scalar_types.size()), v.type};
+        image_.scalar_types.push_back(v.type);
+      } else {
+        if (v.type != DslType::kUint8 && v.type != DslType::kChar) {
+          return ErrorOn(v.line, "arrays must be uint8_t or char");
+        }
+        if (image_.array_sizes.size() >= kMaxArrays) {
+          return ErrorOn(v.line, "too many arrays (max 8)");
+        }
+        arrays_[v.name] =
+            ArrayInfo{static_cast<uint8_t>(image_.array_sizes.size()),
+                      static_cast<uint8_t>(v.array_size)};
+        image_.array_sizes.push_back(static_cast<uint8_t>(v.array_size));
+      }
+    }
+    return OkStatus();
+  }
+
+  Status CollectHandlers() {
+    if (ast_.handlers.size() > kMaxHandlers) {
+      return InvalidArgument("too many handlers (max 24)");
+    }
+    EventId next_custom = kEventCustomBase;
+    bool has_init = false, has_destroy = false;
+    for (const Handler& h : ast_.handlers) {
+      if (handler_infos_.count(h.name) != 0) {
+        return ErrorOn(h.line, "duplicate handler '" + h.name + "'");
+      }
+      if (h.params.size() > kMaxParams) {
+        return ErrorOn(h.line, "too many parameters (max 4)");
+      }
+      HandlerInfo info;
+      info.argc = static_cast<uint8_t>(h.params.size());
+      std::optional<EventId> well_known = WellKnownEventId(h.name);
+      if (well_known.has_value()) {
+        info.event = *well_known;
+        if (static_cast<int>(h.params.size()) != WellKnownArgc(*well_known)) {
+          return ErrorOn(h.line, "handler '" + h.name + "' must take " +
+                                     std::to_string(WellKnownArgc(*well_known)) + " parameter(s)");
+        }
+        if (IsErrorEvent(*well_known) != h.is_error) {
+          return ErrorOn(h.line, h.is_error ? "'" + h.name + "' is not an error event"
+                                            : "'" + h.name + "' must use the 'error' keyword");
+        }
+      } else {
+        if (h.is_error) {
+          return ErrorOn(h.line, "unknown error event '" + h.name + "'");
+        }
+        info.event = next_custom++;
+      }
+      info.is_error = h.is_error;
+      handler_infos_[h.name] = info;
+      has_init |= (info.event == kEventInit);
+      has_destroy |= (info.event == kEventDestroy);
+    }
+    // Section 4.1: "All µPnP drivers must implement at least two event
+    // handlers: init and destroy."
+    if (!has_init || !has_destroy) {
+      return InvalidArgument("driver must implement init() and destroy() handlers");
+    }
+    return OkStatus();
+  }
+
+  // ------------------------------------------------------------ emission --
+  void Emit(Op op) { code_.push_back(static_cast<uint8_t>(op)); }
+  void EmitU8(uint8_t v) { code_.push_back(v); }
+  void EmitI16(int16_t v) {
+    code_.push_back(static_cast<uint8_t>(static_cast<uint16_t>(v) >> 8));
+    code_.push_back(static_cast<uint8_t>(static_cast<uint16_t>(v) & 0xff));
+  }
+
+  void EmitPushInt(int32_t v) {
+    if (v == 0) {
+      Emit(Op::kPush0);
+    } else if (v == 1) {
+      Emit(Op::kPush1);
+    } else if (v >= -128 && v <= 127) {
+      Emit(Op::kPushI8);
+      EmitU8(static_cast<uint8_t>(static_cast<int8_t>(v)));
+    } else if (v >= -32768 && v <= 32767) {
+      Emit(Op::kPushI16);
+      EmitI16(static_cast<int16_t>(v));
+    } else {
+      Emit(Op::kPushI32);
+      code_.push_back(static_cast<uint8_t>(static_cast<uint32_t>(v) >> 24));
+      code_.push_back(static_cast<uint8_t>((static_cast<uint32_t>(v) >> 16) & 0xff));
+      code_.push_back(static_cast<uint8_t>((static_cast<uint32_t>(v) >> 8) & 0xff));
+      code_.push_back(static_cast<uint8_t>(static_cast<uint32_t>(v) & 0xff));
+    }
+  }
+
+  // Emits a jump with a to-be-patched offset; returns the operand position.
+  size_t EmitJump(Op op) {
+    Emit(op);
+    const size_t at = code_.size();
+    EmitI16(0);
+    return at;
+  }
+
+  // Patches the i16 at `operand_at` to land on the current position.
+  Status PatchJump(size_t operand_at, int line) {
+    const ptrdiff_t delta =
+        static_cast<ptrdiff_t>(code_.size()) - static_cast<ptrdiff_t>(operand_at + 2);
+    if (delta < -32768 || delta > 32767) {
+      return ErrorOn(line, "jump out of range");
+    }
+    code_[operand_at] = static_cast<uint8_t>(static_cast<uint16_t>(delta) >> 8);
+    code_[operand_at + 1] = static_cast<uint8_t>(static_cast<uint16_t>(delta) & 0xff);
+    return OkStatus();
+  }
+
+  // Backward jump to `target`.
+  Status EmitJumpTo(Op op, size_t target, int line) {
+    Emit(op);
+    const ptrdiff_t delta =
+        static_cast<ptrdiff_t>(target) - static_cast<ptrdiff_t>(code_.size() + 2);
+    if (delta < -32768 || delta > 32767) {
+      return ErrorOn(line, "jump out of range");
+    }
+    EmitI16(static_cast<int16_t>(delta));
+    return OkStatus();
+  }
+
+  Status EmitHandler(const Handler& h) {
+    params_.clear();
+    for (size_t i = 0; i < h.params.size(); ++i) {
+      const Param& p = h.params[i];
+      if (consts_.count(p.name) != 0 || globals_.count(p.name) != 0 ||
+          arrays_.count(p.name) != 0 || params_.count(p.name) != 0) {
+        return ErrorOn(h.line, "parameter '" + p.name + "' shadows another name");
+      }
+      params_[p.name] = static_cast<uint8_t>(i);
+    }
+    MICROPNP_RETURN_IF_ERROR(EmitBlock(h.body));
+    Emit(Op::kRet);  // implicit end of handler
+    return OkStatus();
+  }
+
+  Status EmitBlock(const std::vector<StmtPtr>& stmts) {
+    for (const StmtPtr& s : stmts) {
+      MICROPNP_RETURN_IF_ERROR(EmitStatement(*s));
+    }
+    return OkStatus();
+  }
+
+  Status EmitStatement(const Stmt& s) {
+    switch (s.kind) {
+      case Stmt::Kind::kAssign:
+        return EmitAssign(s);
+      case Stmt::Kind::kSignal:
+        return EmitSignal(s);
+      case Stmt::Kind::kIf:
+        return EmitIf(s);
+      case Stmt::Kind::kWhile:
+        return EmitWhile(s);
+      case Stmt::Kind::kReturn:
+        return EmitReturn(s);
+      case Stmt::Kind::kExpr:
+        MICROPNP_RETURN_IF_ERROR(EmitExpr(*s.expr));
+        Emit(Op::kPop);
+        return OkStatus();
+    }
+    return InternalError("bad statement kind");
+  }
+
+  Status EmitAssign(const Stmt& s) {
+    if (s.index != nullptr) {
+      // Array element store.
+      auto arr = arrays_.find(s.target);
+      if (arr == arrays_.end()) {
+        return ErrorOn(s.line, "'" + s.target + "' is not an array");
+      }
+      if (s.assign_op != AssignOp::kAssign) {
+        return ErrorOn(s.line, "compound assignment is only supported on scalars");
+      }
+      MICROPNP_RETURN_IF_ERROR(EmitExpr(*s.index));
+      MICROPNP_RETURN_IF_ERROR(EmitExpr(*s.value));
+      Emit(Op::kStoreA);
+      EmitU8(arr->second.index);
+      return OkStatus();
+    }
+    auto g = globals_.find(s.target);
+    if (g == globals_.end()) {
+      if (params_.count(s.target) != 0) {
+        return ErrorOn(s.line, "parameters are read-only");
+      }
+      return ErrorOn(s.line, "undeclared variable '" + s.target + "'");
+    }
+    if (s.assign_op != AssignOp::kAssign) {
+      Emit(Op::kLoadG);
+      EmitU8(g->second.slot);
+    }
+    MICROPNP_RETURN_IF_ERROR(EmitExpr(*s.value));
+    if (s.assign_op == AssignOp::kAddAssign) {
+      Emit(Op::kAdd);
+    } else if (s.assign_op == AssignOp::kSubAssign) {
+      Emit(Op::kSub);
+    }
+    Emit(Op::kStoreG);
+    EmitU8(g->second.slot);
+    return OkStatus();
+  }
+
+  Status EmitSignal(const Stmt& s) {
+    if (s.signal_this) {
+      auto it = handler_infos_.find(s.signal_name);
+      if (it == handler_infos_.end()) {
+        return ErrorOn(s.line, "signal target 'this." + s.signal_name + "' has no handler");
+      }
+      if (s.args.size() != it->second.argc) {
+        return ErrorOn(s.line, "'" + s.signal_name + "' expects " +
+                                   std::to_string(it->second.argc) + " argument(s)");
+      }
+      for (const ExprPtr& a : s.args) {
+        MICROPNP_RETURN_IF_ERROR(EmitExpr(*a));
+      }
+      Emit(Op::kSignalSelf);
+      EmitU8(it->second.event);
+      return OkStatus();
+    }
+    auto lib_it = imports_.find(s.signal_target);
+    if (lib_it == imports_.end()) {
+      return ErrorOn(s.line, "library '" + s.signal_target + "' is not imported");
+    }
+    const NativeFunctionDesc* fn = FindNativeFunction(*lib_it->second, s.signal_name);
+    if (fn == nullptr) {
+      return ErrorOn(s.line, "library '" + s.signal_target + "' has no handler '" +
+                                 s.signal_name + "'");
+    }
+    if (s.args.size() != fn->arg_count) {
+      return ErrorOn(s.line, "'" + s.signal_target + "." + s.signal_name + "' expects " +
+                                 std::to_string(fn->arg_count) + " argument(s)");
+    }
+    for (const ExprPtr& a : s.args) {
+      MICROPNP_RETURN_IF_ERROR(EmitExpr(*a));
+    }
+    Emit(Op::kSignalLib);
+    EmitU8(lib_it->second->id);
+    EmitU8(fn->id);
+    return OkStatus();
+  }
+
+  Status EmitIf(const Stmt& s) {
+    std::vector<size_t> end_jumps;
+    for (size_t i = 0; i < s.branches.size(); ++i) {
+      const IfBranch& b = s.branches[i];
+      MICROPNP_RETURN_IF_ERROR(EmitExpr(*b.condition));
+      const size_t skip = EmitJump(Op::kJz);
+      MICROPNP_RETURN_IF_ERROR(EmitBlock(b.body));
+      const bool is_last = (i + 1 == s.branches.size()) && s.else_body.empty();
+      if (!is_last) {
+        end_jumps.push_back(EmitJump(Op::kJmp));
+      }
+      MICROPNP_RETURN_IF_ERROR(PatchJump(skip, s.line));
+    }
+    if (!s.else_body.empty()) {
+      MICROPNP_RETURN_IF_ERROR(EmitBlock(s.else_body));
+    }
+    for (size_t j : end_jumps) {
+      MICROPNP_RETURN_IF_ERROR(PatchJump(j, s.line));
+    }
+    return OkStatus();
+  }
+
+  Status EmitWhile(const Stmt& s) {
+    const size_t loop_top = code_.size();
+    MICROPNP_RETURN_IF_ERROR(EmitExpr(*s.condition));
+    const size_t exit_jump = EmitJump(Op::kJz);
+    MICROPNP_RETURN_IF_ERROR(EmitBlock(s.body));
+    MICROPNP_RETURN_IF_ERROR(EmitJumpTo(Op::kJmp, loop_top, s.line));
+    return PatchJump(exit_jump, s.line);
+  }
+
+  Status EmitReturn(const Stmt& s) {
+    if (s.expr == nullptr) {
+      Emit(Op::kRet);
+      return OkStatus();
+    }
+    // `return rfid;` where rfid is an array returns the whole buffer.
+    if (s.expr->kind == Expr::Kind::kVar) {
+      auto arr = arrays_.find(s.expr->name);
+      if (arr != arrays_.end()) {
+        Emit(Op::kRetArr);
+        EmitU8(arr->second.index);
+        return OkStatus();
+      }
+    }
+    MICROPNP_RETURN_IF_ERROR(EmitExpr(*s.expr));
+    Emit(Op::kRetVal);
+    return OkStatus();
+  }
+
+  Status EmitExpr(const Expr& e) {
+    switch (e.kind) {
+      case Expr::Kind::kIntLiteral:
+        EmitPushInt(e.int_value);
+        return OkStatus();
+      case Expr::Kind::kVar: {
+        auto c = consts_.find(e.name);
+        if (c != consts_.end()) {
+          EmitPushInt(c->second);
+          return OkStatus();
+        }
+        auto p = params_.find(e.name);
+        if (p != params_.end()) {
+          Emit(Op::kLoadL);
+          EmitU8(p->second);
+          return OkStatus();
+        }
+        auto g = globals_.find(e.name);
+        if (g != globals_.end()) {
+          Emit(Op::kLoadG);
+          EmitU8(g->second.slot);
+          return OkStatus();
+        }
+        if (arrays_.count(e.name) != 0) {
+          return ErrorOn(e.line, "array '" + e.name + "' used as a scalar");
+        }
+        return ErrorOn(e.line, "undeclared identifier '" + e.name + "'");
+      }
+      case Expr::Kind::kIndex: {
+        auto arr = arrays_.find(e.name);
+        if (arr == arrays_.end()) {
+          return ErrorOn(e.line, "'" + e.name + "' is not an array");
+        }
+        MICROPNP_RETURN_IF_ERROR(EmitExpr(*e.lhs));
+        Emit(Op::kLoadA);
+        EmitU8(arr->second.index);
+        return OkStatus();
+      }
+      case Expr::Kind::kPostIncDec: {
+        auto g = globals_.find(e.name);
+        if (g == globals_.end()) {
+          return ErrorOn(e.line, "'++'/'--' requires a global variable");
+        }
+        // [old] left on the stack; global updated.
+        Emit(Op::kLoadG);
+        EmitU8(g->second.slot);
+        Emit(Op::kDup);
+        Emit(Op::kPush1);
+        Emit(e.increment ? Op::kAdd : Op::kSub);
+        Emit(Op::kStoreG);
+        EmitU8(g->second.slot);
+        return OkStatus();
+      }
+      case Expr::Kind::kUnary:
+        MICROPNP_RETURN_IF_ERROR(EmitExpr(*e.lhs));
+        switch (e.un_op) {
+          case UnOp::kNeg:
+            Emit(Op::kNeg);
+            break;
+          case UnOp::kBitNot:
+            Emit(Op::kBitNot);
+            break;
+          case UnOp::kLogicalNot:
+            Emit(Op::kLogicalNot);
+            break;
+        }
+        return OkStatus();
+      case Expr::Kind::kBinary:
+        return EmitBinary(e);
+    }
+    return InternalError("bad expression kind");
+  }
+
+  Status EmitBinary(const Expr& e) {
+    // Short-circuit logical operators.
+    if (e.bin_op == BinOp::kLogicalAnd || e.bin_op == BinOp::kLogicalOr) {
+      const bool is_and = (e.bin_op == BinOp::kLogicalAnd);
+      MICROPNP_RETURN_IF_ERROR(EmitExpr(*e.lhs));
+      const size_t short_jump = EmitJump(is_and ? Op::kJz : Op::kJnz);
+      MICROPNP_RETURN_IF_ERROR(EmitExpr(*e.rhs));
+      const size_t rhs_jump = EmitJump(is_and ? Op::kJz : Op::kJnz);
+      // Both operands fell through: result is 1 for and, 0 for or.
+      Emit(is_and ? Op::kPush1 : Op::kPush0);
+      const size_t end_jump = EmitJump(Op::kJmp);
+      MICROPNP_RETURN_IF_ERROR(PatchJump(short_jump, e.line));
+      MICROPNP_RETURN_IF_ERROR(PatchJump(rhs_jump, e.line));
+      Emit(is_and ? Op::kPush0 : Op::kPush1);
+      return PatchJump(end_jump, e.line);
+    }
+
+    MICROPNP_RETURN_IF_ERROR(EmitExpr(*e.lhs));
+    MICROPNP_RETURN_IF_ERROR(EmitExpr(*e.rhs));
+    switch (e.bin_op) {
+      case BinOp::kAdd:
+        Emit(Op::kAdd);
+        break;
+      case BinOp::kSub:
+        Emit(Op::kSub);
+        break;
+      case BinOp::kMul:
+        Emit(Op::kMul);
+        break;
+      case BinOp::kDiv:
+        Emit(Op::kDiv);
+        break;
+      case BinOp::kMod:
+        Emit(Op::kMod);
+        break;
+      case BinOp::kShl:
+        Emit(Op::kShl);
+        break;
+      case BinOp::kShr:
+        Emit(Op::kShr);
+        break;
+      case BinOp::kBitAnd:
+        Emit(Op::kBitAnd);
+        break;
+      case BinOp::kBitOr:
+        Emit(Op::kBitOr);
+        break;
+      case BinOp::kBitXor:
+        Emit(Op::kBitXor);
+        break;
+      case BinOp::kEq:
+        Emit(Op::kEq);
+        break;
+      case BinOp::kNe:
+        Emit(Op::kNe);
+        break;
+      case BinOp::kLt:
+        Emit(Op::kLt);
+        break;
+      case BinOp::kLe:
+        Emit(Op::kLe);
+        break;
+      case BinOp::kGt:
+        Emit(Op::kGt);
+        break;
+      case BinOp::kGe:
+        Emit(Op::kGe);
+        break;
+      default:
+        return InternalError("bad binary operator");
+    }
+    return OkStatus();
+  }
+
+  const DriverAst& ast_;
+  DriverImage image_;
+  std::vector<uint8_t> code_;
+  std::unordered_map<std::string, const NativeLibraryDesc*> imports_;
+  std::unordered_map<std::string, int32_t> consts_;
+  std::unordered_map<std::string, GlobalInfo> globals_;
+  std::unordered_map<std::string, ArrayInfo> arrays_;
+  std::unordered_map<std::string, HandlerInfo> handler_infos_;
+  std::unordered_map<std::string, uint8_t> params_;
+};
+
+}  // namespace
+
+Result<DriverImage> CompileDriver(const std::string& source) {
+  Result<DriverAst> ast = ParseDriver(source);
+  if (!ast.ok()) {
+    return ast.status();
+  }
+  // Library constants become usable as identifiers: fold them into the
+  // constant table before code generation.
+  DriverAst& tree = *ast;
+  for (const std::string& import : tree.imports) {
+    const NativeLibraryDesc* lib = FindNativeLibrary(import);
+    if (lib == nullptr) {
+      continue;  // reported with a proper error by CodeGen
+    }
+    for (const NativeConstantDesc& c : lib->constants) {
+      tree.consts.push_back(ConstDecl{std::string(c.name), c.value, 0});
+    }
+  }
+  return CodeGen(tree).Run();
+}
+
+}  // namespace micropnp

@@ -1,0 +1,24 @@
+// μPnP DSL compiler: source -> compact bytecode driver image.
+//
+// "The µPnP DSL compiler transforms high-level device drivers into compact
+// bytecode instructions, allowing for energy-efficient distribution in
+// networks of IoT nodes" (Section 4.1).
+
+#ifndef SRC_DSL_COMPILER_H_
+#define SRC_DSL_COMPILER_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/dsl/driver_image.h"
+
+namespace micropnp {
+
+// Compiles μPnP DSL source.  All semantic errors (unknown imports, arity
+// mismatches, undeclared variables, missing init/destroy handlers, ...)
+// carry source line numbers.
+Result<DriverImage> CompileDriver(const std::string& source);
+
+}  // namespace micropnp
+
+#endif  // SRC_DSL_COMPILER_H_

@@ -1,0 +1,71 @@
+// Compiled driver image format.
+//
+// μPnP drivers are "compiled into platform-independent bytecode instructions"
+// and deployed over the air (Section 4.1).  The image is the unit that
+// travels the network (Table 4 measures installing an 80-byte driver) and
+// what the Thing's driver manager activates.
+//
+// Wire layout (big-endian, CRC-16/CCITT over everything before the CRC):
+//
+//   u8  magic0 'u' | u8 magic1 'P' | u8 version
+//   u32 device type id
+//   u8  import count    | imports (u8 library id each)
+//   u8  scalar count    | scalar types (u8 DslType each)
+//   u8  array count     | array sizes (u8 each; element type uint8)
+//   u8  handler count   | handlers (u8 event id, u8 argc, u16 code offset)
+//   u16 code length     | code bytes
+//   u16 crc
+
+#ifndef SRC_DSL_DRIVER_IMAGE_H_
+#define SRC_DSL_DRIVER_IMAGE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/dsl/ast.h"
+#include "src/dsl/events.h"
+#include "src/dsl/native_interface.h"
+
+namespace micropnp {
+
+inline constexpr uint8_t kDriverImageMagic0 = 'u';
+inline constexpr uint8_t kDriverImageMagic1 = 'P';
+inline constexpr uint8_t kDriverImageVersion = 1;
+
+struct HandlerEntry {
+  EventId event = 0;
+  uint8_t argc = 0;
+  uint16_t offset = 0;  // into code
+
+  bool operator==(const HandlerEntry&) const = default;
+};
+
+struct DriverImage {
+  DeviceTypeId device_id = 0;
+  std::vector<LibraryId> imports;
+  std::vector<DslType> scalar_types;   // global slot layout
+  std::vector<uint8_t> array_sizes;    // uint8 arrays
+  std::vector<HandlerEntry> handlers;
+  std::vector<uint8_t> code;
+
+  // Handler lookup; nullptr when the driver does not handle `event`.
+  const HandlerEntry* FindHandler(EventId event) const;
+
+  std::vector<uint8_t> Serialize() const;
+  static Result<DriverImage> Parse(ByteSpan bytes);
+
+  // Total over-the-air size (what Table 4's "Install 80 Byte Driver" counts).
+  size_t SerializedSize() const;
+  // Pure bytecode size (what Table 3's "Bytes" column is closest to).
+  size_t CodeSize() const { return code.size(); }
+
+  bool operator==(const DriverImage&) const = default;
+};
+
+}  // namespace micropnp
+
+#endif  // SRC_DSL_DRIVER_IMAGE_H_

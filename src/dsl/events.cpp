@@ -1,0 +1,81 @@
+#include "src/dsl/events.h"
+
+namespace micropnp {
+
+std::optional<EventId> WellKnownEventId(std::string_view name) {
+  if (name == "init") {
+    return kEventInit;
+  }
+  if (name == "destroy") {
+    return kEventDestroy;
+  }
+  if (name == "read") {
+    return kEventRead;
+  }
+  if (name == "write") {
+    return kEventWrite;
+  }
+  if (name == "stream") {
+    return kEventStream;
+  }
+  if (name == "newdata") {
+    return kEventNewData;
+  }
+  if (name == "tick") {
+    return kEventTick;
+  }
+  if (name == "invalidConfiguration") {
+    return kErrorInvalidConfiguration;
+  }
+  if (name == "uartInUse") {
+    return kErrorUartInUse;
+  }
+  if (name == "timeOut") {
+    return kErrorTimeout;
+  }
+  if (name == "busError") {
+    return kErrorBusError;
+  }
+  if (name == "adcInUse") {
+    return kErrorAdcInUse;
+  }
+  if (name == "spiInUse") {
+    return kErrorSpiInUse;
+  }
+  return std::nullopt;
+}
+
+const char* EventIdName(EventId id) {
+  switch (id) {
+    case kEventInit:
+      return "init";
+    case kEventDestroy:
+      return "destroy";
+    case kEventRead:
+      return "read";
+    case kEventWrite:
+      return "write";
+    case kEventStream:
+      return "stream";
+    case kEventNewData:
+      return "newdata";
+    case kEventTick:
+      return "tick";
+    case kErrorInvalidConfiguration:
+      return "invalidConfiguration";
+    case kErrorUartInUse:
+      return "uartInUse";
+    case kErrorTimeout:
+      return "timeOut";
+    case kErrorBusError:
+      return "busError";
+    case kErrorAdcInUse:
+      return "adcInUse";
+    case kErrorSpiInUse:
+      return "spiInUse";
+    default:
+      return "custom";
+  }
+}
+
+}  // namespace micropnp

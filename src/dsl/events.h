@@ -1,0 +1,56 @@
+// Event vocabulary shared between the DSL compiler and the μPnP runtime.
+//
+// All I/O in μPnP is modelled as events (Section 4.1).  Well-known events
+// have fixed identifiers so that the runtime, native libraries and remote
+// operations (read/write/stream, Section 5.3.1) agree without any
+// per-driver negotiation; driver-private events (e.g. Listing 1's
+// `readDone`) are allocated from the custom range by the compiler.
+
+#ifndef SRC_DSL_EVENTS_H_
+#define SRC_DSL_EVENTS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace micropnp {
+
+using EventId = uint8_t;
+
+// --- lifecycle (Section 4.1 "Control flow") --------------------------------
+inline constexpr EventId kEventInit = 0x00;     // fired when driver installed
+inline constexpr EventId kEventDestroy = 0x01;  // fired when unplugged
+
+// --- remote operations (Section 5.3.1) --------------------------------------
+inline constexpr EventId kEventRead = 0x02;
+inline constexpr EventId kEventWrite = 0x03;   // carries one int32 argument
+inline constexpr EventId kEventStream = 0x04;  // carries period (ms)
+
+// --- native library callbacks ------------------------------------------------
+inline constexpr EventId kEventNewData = 0x05;  // one int32 argument
+inline constexpr EventId kEventTick = 0x06;     // timer expiry
+
+// --- driver-private events ---------------------------------------------------
+inline constexpr EventId kEventCustomBase = 0x40;
+
+// --- error events (prioritized by the event router, Section 4.2) ------------
+inline constexpr EventId kErrorBase = 0x80;
+inline constexpr EventId kErrorInvalidConfiguration = 0x80;
+inline constexpr EventId kErrorUartInUse = 0x81;
+inline constexpr EventId kErrorTimeout = 0x82;
+inline constexpr EventId kErrorBusError = 0x83;
+inline constexpr EventId kErrorAdcInUse = 0x84;
+inline constexpr EventId kErrorSpiInUse = 0x85;
+
+inline constexpr bool IsErrorEvent(EventId id) { return id >= kErrorBase; }
+
+// Maps the spellings used in driver source to well-known event ids.
+// Returns nullopt for driver-private names (compiler allocates those).
+std::optional<EventId> WellKnownEventId(std::string_view name);
+
+// Human-readable name (for the disassembler); "custom" for private events.
+const char* EventIdName(EventId id);
+
+}  // namespace micropnp
+
+#endif  // SRC_DSL_EVENTS_H_

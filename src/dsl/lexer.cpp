@@ -1,0 +1,393 @@
+#include "src/dsl/lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace micropnp {
+namespace {
+
+const std::unordered_map<std::string, TokenKind>& KeywordTable() {
+  static const auto* table = new std::unordered_map<std::string, TokenKind>{
+      {"import", TokenKind::kImport},   {"device", TokenKind::kDevice},
+      {"const", TokenKind::kConst},     {"event", TokenKind::kEvent},
+      {"error", TokenKind::kError},     {"signal", TokenKind::kSignal},
+      {"return", TokenKind::kReturn},   {"if", TokenKind::kIf},
+      {"elif", TokenKind::kElif},       {"else", TokenKind::kElse},
+      {"while", TokenKind::kWhile},     {"this", TokenKind::kThis},
+      {"and", TokenKind::kAnd},         {"or", TokenKind::kOr},
+      {"true", TokenKind::kTrue},       {"false", TokenKind::kFalse},
+      {"uint8_t", TokenKind::kTypeUint8},   {"uint16_t", TokenKind::kTypeUint16},
+      {"uint32_t", TokenKind::kTypeUint32}, {"int8_t", TokenKind::kTypeInt8},
+      {"int16_t", TokenKind::kTypeInt16},   {"int32_t", TokenKind::kTypeInt32},
+      {"bool", TokenKind::kTypeBool},       {"char", TokenKind::kTypeChar},
+  };
+  return *table;
+}
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& source) : src_(source) {}
+
+  Result<std::vector<Token>> Run() {
+    indents_.push_back(0);
+    while (pos_ < src_.size()) {
+      Status line_status = LexLine();
+      if (!line_status.ok()) {
+        return line_status;
+      }
+    }
+    // Close any open blocks.
+    while (indents_.size() > 1) {
+      indents_.pop_back();
+      Emit(TokenKind::kDedent);
+    }
+    Emit(TokenKind::kEndOfFile);
+    return std::move(tokens_);
+  }
+
+ private:
+  void Emit(TokenKind kind, std::string text = {}, int32_t value = 0) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.int_value = value;
+    t.line = line_;
+    t.column = column_;
+    tokens_.push_back(std::move(t));
+  }
+
+  Status ErrorAt(const std::string& message) {
+    return InvalidArgument("line " + std::to_string(line_) + ": " + message);
+  }
+
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  char Advance() {
+    char c = src_[pos_++];
+    ++column_;
+    return c;
+  }
+
+  bool Match(char expected) {
+    if (Peek() == expected) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  // Lexes one physical line, handling indentation first.
+  Status LexLine() {
+    // Measure indentation.
+    int indent = 0;
+    size_t start = pos_;
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == ' ') {
+        ++indent;
+        ++pos_;
+      } else if (src_[pos_] == '\t') {
+        indent += 8 - (indent % 8);
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    column_ = static_cast<int>(pos_ - start) + 1;
+
+    // Blank or comment-only line: consume and ignore.
+    if (pos_ >= src_.size() || src_[pos_] == '\n' || src_[pos_] == '\r' || src_[pos_] == '#') {
+      SkipToEol();
+      return OkStatus();
+    }
+
+    // Indentation bookkeeping.
+    if (indent > indents_.back()) {
+      indents_.push_back(indent);
+      Emit(TokenKind::kIndent);
+    } else {
+      while (indent < indents_.back()) {
+        indents_.pop_back();
+        Emit(TokenKind::kDedent);
+      }
+      if (indent != indents_.back()) {
+        return ErrorAt("inconsistent indentation");
+      }
+    }
+
+    // Tokens until end of line.
+    while (pos_ < src_.size() && src_[pos_] != '\n') {
+      char c = Peek();
+      if (c == ' ' || c == '\t' || c == '\r') {
+        Advance();
+        continue;
+      }
+      if (c == '#') {
+        SkipToEol();
+        return OkStatus();
+      }
+      Status s = LexToken();
+      if (!s.ok()) {
+        return s;
+      }
+    }
+    SkipToEol();
+    return OkStatus();
+  }
+
+  void SkipToEol() {
+    while (pos_ < src_.size() && src_[pos_] != '\n') {
+      ++pos_;
+    }
+    if (pos_ < src_.size()) {
+      ++pos_;  // consume '\n'
+    }
+    ++line_;
+    column_ = 1;
+  }
+
+  Status LexToken() {
+    char c = Peek();
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      return LexIdentifier();
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      return LexNumber();
+    }
+    if (c == '\'') {
+      return LexCharLiteral();
+    }
+    return LexOperator();
+  }
+
+  Status LexIdentifier() {
+    std::string text;
+    while (std::isalnum(static_cast<unsigned char>(Peek())) || Peek() == '_') {
+      text.push_back(Advance());
+    }
+    auto it = KeywordTable().find(text);
+    if (it != KeywordTable().end()) {
+      Emit(it->second, text);
+    } else {
+      Emit(TokenKind::kIdentifier, text);
+    }
+    return OkStatus();
+  }
+
+  Status LexNumber() {
+    int64_t value = 0;
+    if (Peek() == '0' && (Peek(1) == 'x' || Peek(1) == 'X')) {
+      Advance();
+      Advance();
+      bool any = false;
+      while (std::isxdigit(static_cast<unsigned char>(Peek()))) {
+        char c = Advance();
+        int digit = std::isdigit(static_cast<unsigned char>(c))
+                        ? c - '0'
+                        : std::tolower(static_cast<unsigned char>(c)) - 'a' + 10;
+        value = value * 16 + digit;
+        any = true;
+        if (value > 0xffffffffll) {
+          return ErrorAt("hex literal overflows 32 bits");
+        }
+      }
+      if (!any) {
+        return ErrorAt("malformed hex literal");
+      }
+      Emit(TokenKind::kIntLiteral, {}, static_cast<int32_t>(static_cast<uint32_t>(value)));
+      return OkStatus();
+    }
+    while (std::isdigit(static_cast<unsigned char>(Peek()))) {
+      value = value * 10 + (Advance() - '0');
+      if (value > 0xffffffffll) {
+        return ErrorAt("integer literal overflows 32 bits");
+      }
+    }
+    Emit(TokenKind::kIntLiteral, {}, static_cast<int32_t>(static_cast<uint32_t>(value)));
+    return OkStatus();
+  }
+
+  Status LexCharLiteral() {
+    Advance();  // opening quote
+    if (pos_ >= src_.size()) {
+      return ErrorAt("unterminated char literal");
+    }
+    char c = Advance();
+    if (c == '\\') {
+      char esc = Advance();
+      switch (esc) {
+        case 'n':
+          c = '\n';
+          break;
+        case 'r':
+          c = '\r';
+          break;
+        case 't':
+          c = '\t';
+          break;
+        case '0':
+          c = '\0';
+          break;
+        case '\\':
+          c = '\\';
+          break;
+        case '\'':
+          c = '\'';
+          break;
+        default:
+          return ErrorAt("unknown escape in char literal");
+      }
+    }
+    if (!Match('\'')) {
+      return ErrorAt("unterminated char literal");
+    }
+    Emit(TokenKind::kIntLiteral, {}, static_cast<int32_t>(static_cast<unsigned char>(c)));
+    return OkStatus();
+  }
+
+  Status LexOperator() {
+    char c = Advance();
+    switch (c) {
+      case '(':
+        Emit(TokenKind::kLParen);
+        return OkStatus();
+      case ')':
+        Emit(TokenKind::kRParen);
+        return OkStatus();
+      case '[':
+        Emit(TokenKind::kLBracket);
+        return OkStatus();
+      case ']':
+        Emit(TokenKind::kRBracket);
+        return OkStatus();
+      case ',':
+        Emit(TokenKind::kComma);
+        return OkStatus();
+      case ';':
+        Emit(TokenKind::kSemicolon);
+        return OkStatus();
+      case ':':
+        Emit(TokenKind::kColon);
+        return OkStatus();
+      case '.':
+        Emit(TokenKind::kDot);
+        return OkStatus();
+      case '+':
+        if (Match('+')) {
+          Emit(TokenKind::kPlusPlus);
+        } else if (Match('=')) {
+          Emit(TokenKind::kPlusAssign);
+        } else {
+          Emit(TokenKind::kPlus);
+        }
+        return OkStatus();
+      case '-':
+        if (Match('-')) {
+          Emit(TokenKind::kMinusMinus);
+        } else if (Match('=')) {
+          Emit(TokenKind::kMinusAssign);
+        } else {
+          Emit(TokenKind::kMinus);
+        }
+        return OkStatus();
+      case '*':
+        Emit(TokenKind::kStar);
+        return OkStatus();
+      case '/':
+        Emit(TokenKind::kSlash);
+        return OkStatus();
+      case '%':
+        Emit(TokenKind::kPercent);
+        return OkStatus();
+      case '~':
+        Emit(TokenKind::kTilde);
+        return OkStatus();
+      case '^':
+        Emit(TokenKind::kCaret);
+        return OkStatus();
+      case '&':
+        Emit(Match('&') ? TokenKind::kAnd : TokenKind::kAmp);
+        return OkStatus();
+      case '|':
+        Emit(Match('|') ? TokenKind::kOr : TokenKind::kPipe);
+        return OkStatus();
+      case '!':
+        Emit(Match('=') ? TokenKind::kNe : TokenKind::kBang);
+        return OkStatus();
+      case '=':
+        Emit(Match('=') ? TokenKind::kEq : TokenKind::kAssign);
+        return OkStatus();
+      case '<':
+        if (Match('<')) {
+          Emit(TokenKind::kShl);
+        } else if (Match('=')) {
+          Emit(TokenKind::kLe);
+        } else {
+          Emit(TokenKind::kLt);
+        }
+        return OkStatus();
+      case '>':
+        if (Match('>')) {
+          Emit(TokenKind::kShr);
+        } else if (Match('=')) {
+          Emit(TokenKind::kGe);
+        } else {
+          Emit(TokenKind::kGt);
+        }
+        return OkStatus();
+      default:
+        return ErrorAt(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  const std::string& src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+  std::vector<int> indents_;
+  std::vector<Token> tokens_;
+};
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& source) { return Lexer(source).Run(); }
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdentifier:
+      return "identifier";
+    case TokenKind::kIntLiteral:
+      return "integer";
+    case TokenKind::kIndent:
+      return "indent";
+    case TokenKind::kDedent:
+      return "dedent";
+    case TokenKind::kEndOfFile:
+      return "end of file";
+    case TokenKind::kImport:
+      return "'import'";
+    case TokenKind::kDevice:
+      return "'device'";
+    case TokenKind::kEvent:
+      return "'event'";
+    case TokenKind::kError:
+      return "'error'";
+    case TokenKind::kSignal:
+      return "'signal'";
+    case TokenKind::kReturn:
+      return "'return'";
+    case TokenKind::kSemicolon:
+      return "';'";
+    case TokenKind::kColon:
+      return "':'";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    default:
+      return "token";
+  }
+}
+
+}  // namespace micropnp

@@ -1,0 +1,24 @@
+// Lexer for the μPnP driver DSL.
+//
+// Python-style layout: leading whitespace at the start of each logical line
+// drives INDENT/DEDENT tokens; '#' starts a comment; blank lines are
+// ignored.  Tabs count as 8 columns (mixing tabs and spaces inconsistently
+// is an error, as in Python).
+
+#ifndef SRC_DSL_LEXER_H_
+#define SRC_DSL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/dsl/token.h"
+
+namespace micropnp {
+
+// Tokenizes `source`.  On error returns a status naming the offending line.
+Result<std::vector<Token>> Tokenize(const std::string& source);
+
+}  // namespace micropnp
+
+#endif  // SRC_DSL_LEXER_H_

@@ -1,0 +1,135 @@
+#include "src/dsl/native_interface.h"
+
+#include <array>
+
+namespace micropnp {
+namespace {
+
+constexpr std::array<NativeFunctionDesc, 3> kAdcFunctions = {{
+    {kAdcInit, "init", 2},
+    {kAdcReset, "reset", 0},
+    {kAdcRead, "read", 0},
+}};
+
+constexpr std::array<NativeConstantDesc, 4> kAdcConstants = {{
+    {"ADC_REF_VDD", 0},
+    {"ADC_REF_INTERNAL", 1},
+    {"ADC_RES_8BIT", 8},
+    {"ADC_RES_10BIT", 10},
+}};
+
+constexpr std::array<NativeFunctionDesc, 5> kUartFunctions = {{
+    {kUartInit, "init", 4},
+    {kUartReset, "reset", 0},
+    {kUartRead, "read", 0},
+    {kUartWrite, "write", 1},
+    {kUartStop, "stop", 0},
+}};
+
+constexpr std::array<NativeConstantDesc, 8> kUartConstants = {{
+    {"USART_PARITY_NONE", 0},
+    {"USART_PARITY_EVEN", 1},
+    {"USART_PARITY_ODD", 2},
+    {"USART_STOP_BITS_1", 1},
+    {"USART_STOP_BITS_2", 2},
+    {"USART_DATA_BITS_7", 7},
+    {"USART_DATA_BITS_8", 8},
+    {"USART_BAUD_9600", 9600},
+}};
+
+constexpr std::array<NativeFunctionDesc, 6> kI2cFunctions = {{
+    {kI2cInit, "init", 1},
+    {kI2cReset, "reset", 0},
+    {kI2cWrite, "write", 3},
+    {kI2cRead8, "read8", 2},
+    {kI2cRead16, "read16", 2},
+    {kI2cRead24, "read24", 2},
+}};
+
+constexpr std::array<NativeConstantDesc, 2> kI2cConstants = {{
+    {"I2C_STANDARD_100KHZ", 100},
+    {"I2C_FAST_400KHZ", 400},
+}};
+
+constexpr std::array<NativeFunctionDesc, 3> kSpiFunctions = {{
+    {kSpiInit, "init", 2},
+    {kSpiReset, "reset", 0},
+    {kSpiTransfer2, "transfer2", 2},
+}};
+
+constexpr std::array<NativeConstantDesc, 5> kSpiConstants = {{
+    {"SPI_MODE0", 0},
+    {"SPI_MODE1", 1},
+    {"SPI_MODE2", 2},
+    {"SPI_MODE3", 3},
+    {"SPI_CLOCK_1MHZ", 1000},
+}};
+
+constexpr std::array<NativeFunctionDesc, 3> kTimerFunctions = {{
+    {kTimerStart, "start", 1},
+    {kTimerStop, "stop", 0},
+    {kTimerOnce, "once", 1},
+}};
+
+constexpr std::array<NativeConstantDesc, 0> kTimerConstants = {};
+
+const std::array<NativeLibraryDesc, kLibraryCount> kLibraries = {{
+    {kLibAdc, "adc", kAdcFunctions, kAdcConstants},
+    {kLibUart, "uart", kUartFunctions, kUartConstants},
+    {kLibI2c, "i2c", kI2cFunctions, kI2cConstants},
+    {kLibSpi, "spi", kSpiFunctions, kSpiConstants},
+    {kLibTimer, "timer", kTimerFunctions, kTimerConstants},
+}};
+
+}  // namespace
+
+const NativeLibraryDesc* FindNativeLibrary(std::string_view name) {
+  for (const NativeLibraryDesc& lib : kLibraries) {
+    if (lib.name == name) {
+      return &lib;
+    }
+  }
+  return nullptr;
+}
+
+const NativeLibraryDesc* FindNativeLibrary(LibraryId id) {
+  for (const NativeLibraryDesc& lib : kLibraries) {
+    if (lib.id == id) {
+      return &lib;
+    }
+  }
+  return nullptr;
+}
+
+const NativeFunctionDesc* FindNativeFunction(const NativeLibraryDesc& lib, std::string_view name) {
+  for (const NativeFunctionDesc& fn : lib.functions) {
+    if (fn.name == name) {
+      return &fn;
+    }
+  }
+  return nullptr;
+}
+
+const NativeFunctionDesc* FindNativeFunction(LibraryId lib, LibraryFunctionId fn) {
+  const NativeLibraryDesc* desc = FindNativeLibrary(lib);
+  if (desc == nullptr) {
+    return nullptr;
+  }
+  for (const NativeFunctionDesc& f : desc->functions) {
+    if (f.id == fn) {
+      return &f;
+    }
+  }
+  return nullptr;
+}
+
+std::optional<int32_t> FindNativeConstant(const NativeLibraryDesc& lib, std::string_view name) {
+  for (const NativeConstantDesc& c : lib.constants) {
+    if (c.name == name) {
+      return c.value;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace micropnp

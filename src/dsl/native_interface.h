@@ -1,0 +1,93 @@
+// Compile-time description of the native interconnect libraries.
+//
+// Drivers `import` libraries and signal their exported event handlers
+// (Section 4.1 "Peripheral communication").  The compiler resolves
+// `lib.function(...)` calls against this table; the runtime (src/rt)
+// implements the same table, so the two sides agree by construction.
+// Each library also exports named integer constants (e.g.
+// USART_PARITY_NONE) usable anywhere an integer literal is.
+
+#ifndef SRC_DSL_NATIVE_INTERFACE_H_
+#define SRC_DSL_NATIVE_INTERFACE_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+
+namespace micropnp {
+
+using LibraryId = uint8_t;
+using LibraryFunctionId = uint8_t;
+
+inline constexpr LibraryId kLibAdc = 0;
+inline constexpr LibraryId kLibUart = 1;
+inline constexpr LibraryId kLibI2c = 2;
+inline constexpr LibraryId kLibSpi = 3;
+inline constexpr LibraryId kLibTimer = 4;
+inline constexpr int kLibraryCount = 5;
+
+struct NativeFunctionDesc {
+  LibraryFunctionId id;
+  std::string_view name;
+  uint8_t arg_count;
+};
+
+struct NativeConstantDesc {
+  std::string_view name;
+  int32_t value;
+};
+
+struct NativeLibraryDesc {
+  LibraryId id;
+  std::string_view name;
+  std::span<const NativeFunctionDesc> functions;
+  std::span<const NativeConstantDesc> constants;
+};
+
+// Library lookup by name ("adc", "uart", "i2c", "spi", "timer").
+const NativeLibraryDesc* FindNativeLibrary(std::string_view name);
+const NativeLibraryDesc* FindNativeLibrary(LibraryId id);
+
+// Function lookup inside a library.
+const NativeFunctionDesc* FindNativeFunction(const NativeLibraryDesc& lib, std::string_view name);
+const NativeFunctionDesc* FindNativeFunction(LibraryId lib, LibraryFunctionId fn);
+
+// Constant lookup across a set of imported libraries.
+std::optional<int32_t> FindNativeConstant(const NativeLibraryDesc& lib, std::string_view name);
+
+// ---- per-library function ids (shared with src/rt implementations) --------
+
+// adc
+inline constexpr LibraryFunctionId kAdcInit = 0;   // (reference, resolution_bits)
+inline constexpr LibraryFunctionId kAdcReset = 1;  // ()
+inline constexpr LibraryFunctionId kAdcRead = 2;   // () -> newdata(code)
+
+// uart
+inline constexpr LibraryFunctionId kUartInit = 0;   // (baud, parity, stop, data)
+inline constexpr LibraryFunctionId kUartReset = 1;  // ()
+inline constexpr LibraryFunctionId kUartRead = 2;   // () -> newdata(byte)...
+inline constexpr LibraryFunctionId kUartWrite = 3;  // (byte)
+inline constexpr LibraryFunctionId kUartStop = 4;   // () stop listening
+
+// i2c
+inline constexpr LibraryFunctionId kI2cInit = 0;    // (clock_khz)
+inline constexpr LibraryFunctionId kI2cReset = 1;   // ()
+inline constexpr LibraryFunctionId kI2cWrite = 2;   // (addr, reg, value)
+inline constexpr LibraryFunctionId kI2cRead8 = 3;   // (addr, reg)  -> newdata
+inline constexpr LibraryFunctionId kI2cRead16 = 4;  // (addr, reg)  -> newdata
+inline constexpr LibraryFunctionId kI2cRead24 = 5;  // (addr, reg)  -> newdata
+
+// spi
+inline constexpr LibraryFunctionId kSpiInit = 0;      // (clock_khz, mode)
+inline constexpr LibraryFunctionId kSpiReset = 1;     // ()
+inline constexpr LibraryFunctionId kSpiTransfer2 = 2; // (b0, b1) -> newdata((r0<<8)|r1)
+
+// timer
+inline constexpr LibraryFunctionId kTimerStart = 0;  // (period_ms) -> tick()...
+inline constexpr LibraryFunctionId kTimerStop = 1;   // ()
+inline constexpr LibraryFunctionId kTimerOnce = 2;   // (delay_ms) -> single tick()
+
+}  // namespace micropnp
+
+#endif  // SRC_DSL_NATIVE_INTERFACE_H_

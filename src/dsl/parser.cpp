@@ -1,0 +1,721 @@
+#include "src/dsl/parser.h"
+
+#include <unordered_map>
+#include <utility>
+
+#include "src/dsl/lexer.h"
+
+namespace micropnp {
+namespace {
+
+bool IsTypeToken(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kTypeUint8:
+    case TokenKind::kTypeUint16:
+    case TokenKind::kTypeUint32:
+    case TokenKind::kTypeInt8:
+    case TokenKind::kTypeInt16:
+    case TokenKind::kTypeInt32:
+    case TokenKind::kTypeBool:
+    case TokenKind::kTypeChar:
+      return true;
+    default:
+      return false;
+  }
+}
+
+DslType TypeFromToken(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kTypeUint8:
+      return DslType::kUint8;
+    case TokenKind::kTypeUint16:
+      return DslType::kUint16;
+    case TokenKind::kTypeUint32:
+      return DslType::kUint32;
+    case TokenKind::kTypeInt8:
+      return DslType::kInt8;
+    case TokenKind::kTypeInt16:
+      return DslType::kInt16;
+    case TokenKind::kTypeInt32:
+      return DslType::kInt32;
+    case TokenKind::kTypeBool:
+      return DslType::kBool;
+    default:
+      return DslType::kChar;
+  }
+}
+
+// Binding powers for precedence-climbing, loosest first.
+int BinaryPrecedence(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kOr:
+      return 1;
+    case TokenKind::kAnd:
+      return 2;
+    case TokenKind::kPipe:
+      return 3;
+    case TokenKind::kCaret:
+      return 4;
+    case TokenKind::kAmp:
+      return 5;
+    case TokenKind::kEq:
+    case TokenKind::kNe:
+      return 6;
+    case TokenKind::kLt:
+    case TokenKind::kLe:
+    case TokenKind::kGt:
+    case TokenKind::kGe:
+      return 7;
+    case TokenKind::kShl:
+    case TokenKind::kShr:
+      return 8;
+    case TokenKind::kPlus:
+    case TokenKind::kMinus:
+      return 9;
+    case TokenKind::kStar:
+    case TokenKind::kSlash:
+    case TokenKind::kPercent:
+      return 10;
+    default:
+      return 0;  // not a binary operator
+  }
+}
+
+BinOp BinOpFromToken(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kOr:
+      return BinOp::kLogicalOr;
+    case TokenKind::kAnd:
+      return BinOp::kLogicalAnd;
+    case TokenKind::kPipe:
+      return BinOp::kBitOr;
+    case TokenKind::kCaret:
+      return BinOp::kBitXor;
+    case TokenKind::kAmp:
+      return BinOp::kBitAnd;
+    case TokenKind::kEq:
+      return BinOp::kEq;
+    case TokenKind::kNe:
+      return BinOp::kNe;
+    case TokenKind::kLt:
+      return BinOp::kLt;
+    case TokenKind::kLe:
+      return BinOp::kLe;
+    case TokenKind::kGt:
+      return BinOp::kGt;
+    case TokenKind::kGe:
+      return BinOp::kGe;
+    case TokenKind::kShl:
+      return BinOp::kShl;
+    case TokenKind::kShr:
+      return BinOp::kShr;
+    case TokenKind::kPlus:
+      return BinOp::kAdd;
+    case TokenKind::kMinus:
+      return BinOp::kSub;
+    case TokenKind::kStar:
+      return BinOp::kMul;
+    case TokenKind::kSlash:
+      return BinOp::kDiv;
+    default:
+      return BinOp::kMod;
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<DriverAst> Run() {
+    DriverAst ast;
+    while (!AtEnd()) {
+      const Token& t = Peek();
+      Status s;
+      switch (t.kind) {
+        case TokenKind::kImport:
+          s = ParseImport(ast);
+          break;
+        case TokenKind::kDevice:
+          s = ParseDevice(ast);
+          break;
+        case TokenKind::kConst:
+          s = ParseConst(ast);
+          break;
+        case TokenKind::kEvent:
+        case TokenKind::kError:
+          s = ParseHandler(ast);
+          break;
+        default:
+          if (IsTypeToken(t.kind)) {
+            s = ParseVarDecl(ast);
+          } else {
+            return ErrorAt(t, "expected declaration or handler");
+          }
+      }
+      if (!s.ok()) {
+        return s;
+      }
+    }
+    return ast;
+  }
+
+ private:
+  // ------------------------------------------------------------- helpers --
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  bool AtEnd() const { return Peek().kind == TokenKind::kEndOfFile; }
+  bool Check(TokenKind kind) const { return Peek().kind == kind; }
+  bool Match(TokenKind kind) {
+    if (Check(kind)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  Status ErrorAt(const Token& t, const std::string& message) {
+    return InvalidArgument("line " + std::to_string(t.line) + ": " + message);
+  }
+
+  Status Expect(TokenKind kind, const char* what) {
+    if (!Match(kind)) {
+      return ErrorAt(Peek(), std::string("expected ") + what);
+    }
+    return OkStatus();
+  }
+
+  // Evaluates a constant expression (literals, previously defined consts,
+  // unary minus/complement, binary arithmetic).  Used by `const` and
+  // `device` declarations.
+  Result<int32_t> EvalConst(const Expr& e) {
+    switch (e.kind) {
+      case Expr::Kind::kIntLiteral:
+        return e.int_value;
+      case Expr::Kind::kVar: {
+        auto it = const_values_.find(e.name);
+        if (it == const_values_.end()) {
+          return InvalidArgument("line " + std::to_string(e.line) + ": '" + e.name +
+                                 "' is not a constant");
+        }
+        return it->second;
+      }
+      case Expr::Kind::kUnary: {
+        Result<int32_t> v = EvalConst(*e.lhs);
+        if (!v.ok()) {
+          return v;
+        }
+        switch (e.un_op) {
+          case UnOp::kNeg:
+            return -*v;
+          case UnOp::kBitNot:
+            return ~*v;
+          case UnOp::kLogicalNot:
+            return *v == 0 ? 1 : 0;
+        }
+        return InternalError("bad unop");
+      }
+      case Expr::Kind::kBinary: {
+        Result<int32_t> a = EvalConst(*e.lhs);
+        Result<int32_t> b = EvalConst(*e.rhs);
+        if (!a.ok()) {
+          return a;
+        }
+        if (!b.ok()) {
+          return b;
+        }
+        switch (e.bin_op) {
+          case BinOp::kAdd:
+            return *a + *b;
+          case BinOp::kSub:
+            return *a - *b;
+          case BinOp::kMul:
+            return *a * *b;
+          case BinOp::kDiv:
+            if (*b == 0) {
+              return InvalidArgument("constant division by zero");
+            }
+            return *a / *b;
+          case BinOp::kShl:
+            return static_cast<int32_t>(static_cast<uint32_t>(*a) << (*b & 31));
+          case BinOp::kShr:
+            return static_cast<int32_t>(static_cast<uint32_t>(*a) >> (*b & 31));
+          case BinOp::kBitOr:
+            return *a | *b;
+          case BinOp::kBitAnd:
+            return *a & *b;
+          case BinOp::kBitXor:
+            return *a ^ *b;
+          default:
+            return InvalidArgument("operator not allowed in constant expression");
+        }
+      }
+      default:
+        return InvalidArgument("expression is not constant");
+    }
+  }
+
+  // -------------------------------------------------------- declarations --
+  Status ParseImport(DriverAst& ast) {
+    Advance();  // 'import'
+    if (!Check(TokenKind::kIdentifier)) {
+      return ErrorAt(Peek(), "expected library name after 'import'");
+    }
+    ast.imports.push_back(Advance().text);
+    return Expect(TokenKind::kSemicolon, "';' after import");
+  }
+
+  Status ParseDevice(DriverAst& ast) {
+    const Token& kw = Advance();  // 'device'
+    if (ast.has_device_id) {
+      return ErrorAt(kw, "duplicate device declaration");
+    }
+    Result<ExprPtr> e = ParseExpression();
+    if (!e.ok()) {
+      return e.status();
+    }
+    Result<int32_t> v = EvalConst(**e);
+    if (!v.ok()) {
+      return v.status();
+    }
+    ast.has_device_id = true;
+    ast.device_id = static_cast<DeviceTypeId>(*v);
+    return Expect(TokenKind::kSemicolon, "';' after device id");
+  }
+
+  Status ParseConst(DriverAst& ast) {
+    Advance();  // 'const'
+    if (!Check(TokenKind::kIdentifier)) {
+      return ErrorAt(Peek(), "expected constant name");
+    }
+    Token name = Advance();
+    MICROPNP_RETURN_IF_ERROR(Expect(TokenKind::kAssign, "'=' in const declaration"));
+    Result<ExprPtr> e = ParseExpression();
+    if (!e.ok()) {
+      return e.status();
+    }
+    Result<int32_t> v = EvalConst(**e);
+    if (!v.ok()) {
+      return v.status();
+    }
+    if (const_values_.count(name.text) != 0) {
+      return ErrorAt(name, "duplicate constant '" + name.text + "'");
+    }
+    const_values_[name.text] = *v;
+    ast.consts.push_back(ConstDecl{name.text, *v, name.line});
+    return Expect(TokenKind::kSemicolon, "';' after const declaration");
+  }
+
+  Status ParseVarDecl(DriverAst& ast) {
+    const DslType type = TypeFromToken(Advance().kind);
+    while (true) {
+      if (!Check(TokenKind::kIdentifier)) {
+        return ErrorAt(Peek(), "expected variable name");
+      }
+      Token name = Advance();
+      VarDecl decl;
+      decl.type = type;
+      decl.name = name.text;
+      decl.line = name.line;
+      if (Match(TokenKind::kLBracket)) {
+        Result<ExprPtr> size = ParseExpression();
+        if (!size.ok()) {
+          return size.status();
+        }
+        Result<int32_t> v = EvalConst(**size);
+        if (!v.ok()) {
+          return v.status();
+        }
+        if (*v <= 0 || *v > 255) {
+          return ErrorAt(name, "array size must be in [1, 255]");
+        }
+        decl.array_size = *v;
+        MICROPNP_RETURN_IF_ERROR(Expect(TokenKind::kRBracket, "']' after array size"));
+      }
+      ast.vars.push_back(std::move(decl));
+      if (Match(TokenKind::kComma)) {
+        continue;
+      }
+      return Expect(TokenKind::kSemicolon, "';' after variable declaration");
+    }
+  }
+
+  Status ParseHandler(DriverAst& ast) {
+    Handler handler;
+    handler.is_error = (Peek().kind == TokenKind::kError);
+    handler.line = Peek().line;
+    Advance();  // 'event' / 'error'
+    if (!Check(TokenKind::kIdentifier)) {
+      return ErrorAt(Peek(), "expected handler name");
+    }
+    handler.name = Advance().text;
+    MICROPNP_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'(' after handler name"));
+    if (!Check(TokenKind::kRParen)) {
+      while (true) {
+        if (!IsTypeToken(Peek().kind)) {
+          return ErrorAt(Peek(), "expected parameter type");
+        }
+        Param p;
+        p.type = TypeFromToken(Advance().kind);
+        if (!Check(TokenKind::kIdentifier)) {
+          return ErrorAt(Peek(), "expected parameter name");
+        }
+        p.name = Advance().text;
+        handler.params.push_back(std::move(p));
+        if (!Match(TokenKind::kComma)) {
+          break;
+        }
+      }
+    }
+    MICROPNP_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')' after parameters"));
+    MICROPNP_RETURN_IF_ERROR(Expect(TokenKind::kColon, "':' before handler body"));
+    Result<std::vector<StmtPtr>> body = ParseBlock();
+    if (!body.ok()) {
+      return body.status();
+    }
+    handler.body = std::move(*body);
+    ast.handlers.push_back(std::move(handler));
+    return OkStatus();
+  }
+
+  // ------------------------------------------------------------- blocks ---
+  Result<std::vector<StmtPtr>> ParseBlock() {
+    MICROPNP_RETURN_IF_ERROR(Expect(TokenKind::kIndent, "indented block"));
+    std::vector<StmtPtr> stmts;
+    while (!Check(TokenKind::kDedent) && !AtEnd()) {
+      Result<StmtPtr> s = ParseStatement();
+      if (!s.ok()) {
+        return s.status();
+      }
+      stmts.push_back(std::move(*s));
+    }
+    MICROPNP_RETURN_IF_ERROR(Expect(TokenKind::kDedent, "end of block"));
+    if (stmts.empty()) {
+      return InvalidArgument("empty block");
+    }
+    return stmts;
+  }
+
+  Result<StmtPtr> ParseStatement() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kSignal:
+        return ParseSignal();
+      case TokenKind::kReturn:
+        return ParseReturn();
+      case TokenKind::kIf:
+        return ParseIf();
+      case TokenKind::kWhile:
+        return ParseWhile();
+      case TokenKind::kIdentifier:
+        return ParseAssignOrExpr();
+      default:
+        return Result<StmtPtr>(ErrorAt(t, "expected statement"));
+    }
+  }
+
+  Result<StmtPtr> ParseSignal() {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = Stmt::Kind::kSignal;
+    stmt->line = Peek().line;
+    Advance();  // 'signal'
+    if (Match(TokenKind::kThis)) {
+      stmt->signal_this = true;
+    } else if (Check(TokenKind::kIdentifier)) {
+      stmt->signal_target = Advance().text;
+    } else {
+      return Result<StmtPtr>(ErrorAt(Peek(), "expected 'this' or library name after 'signal'"));
+    }
+    MICROPNP_RETURN_IF_ERROR(Expect(TokenKind::kDot, "'.' in signal target"));
+    if (!Check(TokenKind::kIdentifier)) {
+      return Result<StmtPtr>(ErrorAt(Peek(), "expected event name"));
+    }
+    stmt->signal_name = Advance().text;
+    MICROPNP_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'(' after event name"));
+    if (!Check(TokenKind::kRParen)) {
+      while (true) {
+        Result<ExprPtr> arg = ParseExpression();
+        if (!arg.ok()) {
+          return arg.status();
+        }
+        stmt->args.push_back(std::move(*arg));
+        if (!Match(TokenKind::kComma)) {
+          break;
+        }
+      }
+    }
+    MICROPNP_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')' after signal arguments"));
+    MICROPNP_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "';' after signal"));
+    return stmt;
+  }
+
+  Result<StmtPtr> ParseReturn() {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = Stmt::Kind::kReturn;
+    stmt->line = Peek().line;
+    Advance();  // 'return'
+    if (!Check(TokenKind::kSemicolon)) {
+      Result<ExprPtr> e = ParseExpression();
+      if (!e.ok()) {
+        return e.status();
+      }
+      stmt->expr = std::move(*e);
+    }
+    MICROPNP_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "';' after return"));
+    return stmt;
+  }
+
+  Result<StmtPtr> ParseIf() {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = Stmt::Kind::kIf;
+    stmt->line = Peek().line;
+    Advance();  // 'if'
+    while (true) {
+      IfBranch branch;
+      Result<ExprPtr> cond = ParseExpression();
+      if (!cond.ok()) {
+        return cond.status();
+      }
+      branch.condition = std::move(*cond);
+      MICROPNP_RETURN_IF_ERROR(Expect(TokenKind::kColon, "':' after condition"));
+      Result<std::vector<StmtPtr>> body = ParseBlock();
+      if (!body.ok()) {
+        return body.status();
+      }
+      branch.body = std::move(*body);
+      stmt->branches.push_back(std::move(branch));
+      if (Match(TokenKind::kElif)) {
+        continue;
+      }
+      break;
+    }
+    if (Match(TokenKind::kElse)) {
+      MICROPNP_RETURN_IF_ERROR(Expect(TokenKind::kColon, "':' after else"));
+      Result<std::vector<StmtPtr>> body = ParseBlock();
+      if (!body.ok()) {
+        return body.status();
+      }
+      stmt->else_body = std::move(*body);
+    }
+    return stmt;
+  }
+
+  Result<StmtPtr> ParseWhile() {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = Stmt::Kind::kWhile;
+    stmt->line = Peek().line;
+    Advance();  // 'while'
+    Result<ExprPtr> cond = ParseExpression();
+    if (!cond.ok()) {
+      return cond.status();
+    }
+    stmt->condition = std::move(*cond);
+    MICROPNP_RETURN_IF_ERROR(Expect(TokenKind::kColon, "':' after condition"));
+    Result<std::vector<StmtPtr>> body = ParseBlock();
+    if (!body.ok()) {
+      return body.status();
+    }
+    stmt->body = std::move(*body);
+    return stmt;
+  }
+
+  Result<StmtPtr> ParseAssignOrExpr() {
+    Token name = Advance();
+    auto stmt = std::make_unique<Stmt>();
+    stmt->line = name.line;
+
+    // Optional index: name[expr] or name[expr++].
+    ExprPtr index;
+    if (Check(TokenKind::kLBracket)) {
+      Advance();
+      Result<ExprPtr> idx = ParseExpression();
+      if (!idx.ok()) {
+        return idx.status();
+      }
+      index = std::move(*idx);
+      MICROPNP_RETURN_IF_ERROR(Expect(TokenKind::kRBracket, "']' after index"));
+    }
+
+    if (Check(TokenKind::kAssign) || Check(TokenKind::kPlusAssign) ||
+        Check(TokenKind::kMinusAssign)) {
+      TokenKind op = Advance().kind;
+      stmt->kind = Stmt::Kind::kAssign;
+      stmt->target = name.text;
+      stmt->index = std::move(index);
+      stmt->assign_op = (op == TokenKind::kAssign)       ? AssignOp::kAssign
+                        : (op == TokenKind::kPlusAssign) ? AssignOp::kAddAssign
+                                                         : AssignOp::kSubAssign;
+      Result<ExprPtr> value = ParseExpression();
+      if (!value.ok()) {
+        return value.status();
+      }
+      stmt->value = std::move(*value);
+      MICROPNP_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "';' after assignment"));
+      return stmt;
+    }
+
+    // Bare expression statement, e.g. `idx++;`.
+    if (index != nullptr) {
+      return Result<StmtPtr>(ErrorAt(name, "indexed expression is not a statement"));
+    }
+    if (Check(TokenKind::kPlusPlus) || Check(TokenKind::kMinusMinus)) {
+      const bool inc = Advance().kind == TokenKind::kPlusPlus;
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kPostIncDec;
+      e->line = name.line;
+      e->name = name.text;
+      e->increment = inc;
+      stmt->kind = Stmt::Kind::kExpr;
+      stmt->expr = std::move(e);
+      MICROPNP_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "';' after expression"));
+      return stmt;
+    }
+    return Result<StmtPtr>(ErrorAt(name, "expected assignment or increment"));
+  }
+
+  // --------------------------------------------------------- expressions --
+  Result<ExprPtr> ParseExpression() { return ParseBinary(1); }
+
+  Result<ExprPtr> ParseBinary(int min_precedence) {
+    Result<ExprPtr> lhs = ParseUnary();
+    if (!lhs.ok()) {
+      return lhs;
+    }
+    ExprPtr expr = std::move(*lhs);
+    while (true) {
+      const int prec = BinaryPrecedence(Peek().kind);
+      if (prec < min_precedence || prec == 0) {
+        return expr;
+      }
+      Token op = Advance();
+      Result<ExprPtr> rhs = ParseBinary(prec + 1);  // left associative
+      if (!rhs.ok()) {
+        return rhs;
+      }
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kBinary;
+      node->line = op.line;
+      node->bin_op = BinOpFromToken(op.kind);
+      node->lhs = std::move(expr);
+      node->rhs = std::move(*rhs);
+      expr = std::move(node);
+    }
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    const Token& t = Peek();
+    if (t.kind == TokenKind::kMinus || t.kind == TokenKind::kTilde ||
+        t.kind == TokenKind::kBang) {
+      Token op = Advance();
+      Result<ExprPtr> operand = ParseUnary();
+      if (!operand.ok()) {
+        return operand;
+      }
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kUnary;
+      node->line = op.line;
+      node->un_op = (op.kind == TokenKind::kMinus)   ? UnOp::kNeg
+                    : (op.kind == TokenKind::kTilde) ? UnOp::kBitNot
+                                                     : UnOp::kLogicalNot;
+      node->lhs = std::move(*operand);
+      return node;
+    }
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    auto node = std::make_unique<Expr>();
+    node->line = t.line;
+    switch (t.kind) {
+      case TokenKind::kIntLiteral:
+        node->kind = Expr::Kind::kIntLiteral;
+        node->int_value = Advance().int_value;
+        return node;
+      case TokenKind::kTrue:
+        Advance();
+        node->kind = Expr::Kind::kIntLiteral;
+        node->int_value = 1;
+        return node;
+      case TokenKind::kFalse:
+        Advance();
+        node->kind = Expr::Kind::kIntLiteral;
+        node->int_value = 0;
+        return node;
+      case TokenKind::kLParen: {
+        Advance();
+        Result<ExprPtr> inner = ParseExpression();
+        if (!inner.ok()) {
+          return inner;
+        }
+        MICROPNP_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+        return inner;
+      }
+      case TokenKind::kIdentifier: {
+        Token name = Advance();
+        if (Match(TokenKind::kLBracket)) {
+          Result<ExprPtr> index = ParseExpression();
+          if (!index.ok()) {
+            return index;
+          }
+          MICROPNP_RETURN_IF_ERROR(Expect(TokenKind::kRBracket, "']'"));
+          node->kind = Expr::Kind::kIndex;
+          node->name = name.text;
+          node->lhs = std::move(*index);
+          return node;
+        }
+        if (Check(TokenKind::kPlusPlus) || Check(TokenKind::kMinusMinus)) {
+          node->increment = Advance().kind == TokenKind::kPlusPlus;
+          node->kind = Expr::Kind::kPostIncDec;
+          node->name = name.text;
+          return node;
+        }
+        node->kind = Expr::Kind::kVar;
+        node->name = name.text;
+        return node;
+      }
+      default:
+        return Result<ExprPtr>(ErrorAt(t, "expected expression"));
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  std::unordered_map<std::string, int32_t> const_values_;
+};
+
+}  // namespace
+
+const char* DslTypeName(DslType type) {
+  switch (type) {
+    case DslType::kUint8:
+      return "uint8_t";
+    case DslType::kUint16:
+      return "uint16_t";
+    case DslType::kUint32:
+      return "uint32_t";
+    case DslType::kInt8:
+      return "int8_t";
+    case DslType::kInt16:
+      return "int16_t";
+    case DslType::kInt32:
+      return "int32_t";
+    case DslType::kBool:
+      return "bool";
+    case DslType::kChar:
+      return "char";
+  }
+  return "?";
+}
+
+Result<DriverAst> ParseDriver(const std::string& source) {
+  Result<std::vector<Token>> tokens = Tokenize(source);
+  if (!tokens.ok()) {
+    return tokens.status();
+  }
+  return Parser(std::move(*tokens)).Run();
+}
+
+}  // namespace micropnp

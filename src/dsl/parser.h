@@ -1,0 +1,18 @@
+// Recursive-descent parser for the μPnP driver DSL.
+
+#ifndef SRC_DSL_PARSER_H_
+#define SRC_DSL_PARSER_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/dsl/ast.h"
+
+namespace micropnp {
+
+// Parses driver source into an AST.  Errors carry line numbers.
+Result<DriverAst> ParseDriver(const std::string& source);
+
+}  // namespace micropnp
+
+#endif  // SRC_DSL_PARSER_H_

@@ -1,0 +1,96 @@
+// Tokens of the μPnP driver DSL (Section 4.1).
+//
+// The language is "typed and event-based [with] syntax inspired by the
+// simplicity and generality of the Python programming language": '#'
+// comments, colon-introduced indented blocks, semicolon-terminated
+// statements (Listing 1).
+
+#ifndef SRC_DSL_TOKEN_H_
+#define SRC_DSL_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace micropnp {
+
+enum class TokenKind : uint8_t {
+  // literals / identifiers
+  kIdentifier,
+  kIntLiteral,   // decimal, 0x hex, or 'c' char literal (value in int_value)
+  kTrue,
+  kFalse,
+  // keywords
+  kImport,
+  kDevice,
+  kConst,
+  kEvent,
+  kError,
+  kSignal,
+  kReturn,
+  kIf,
+  kElif,
+  kElse,
+  kWhile,
+  kThis,
+  kAnd,  // also spelled &&
+  kOr,   // also spelled ||
+  // type names
+  kTypeUint8,
+  kTypeUint16,
+  kTypeUint32,
+  kTypeInt8,
+  kTypeInt16,
+  kTypeInt32,
+  kTypeBool,
+  kTypeChar,
+  // punctuation / operators
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kComma,
+  kSemicolon,
+  kColon,
+  kDot,
+  kAssign,      // =
+  kPlusAssign,  // +=
+  kMinusAssign, // -=
+  kPlusPlus,    // ++
+  kMinusMinus,  // --
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+  kShl,
+  kShr,
+  kAmp,
+  kPipe,
+  kCaret,
+  kTilde,
+  kBang,     // logical not (also spelled `not`? no - just !)
+  kEq,       // ==
+  kNe,       // !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  // layout
+  kIndent,
+  kDedent,
+  kEndOfFile,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEndOfFile;
+  std::string text;        // identifier spelling
+  int32_t int_value = 0;   // for kIntLiteral
+  int line = 0;            // 1-based source line
+  int column = 0;          // 1-based source column
+};
+
+const char* TokenKindName(TokenKind kind);
+
+}  // namespace micropnp
+
+#endif  // SRC_DSL_TOKEN_H_

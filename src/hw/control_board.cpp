@@ -1,0 +1,133 @@
+#include "src/hw/control_board.h"
+
+namespace micropnp {
+
+PeripheralPlug MakePlugForId(const IdentCodec& codec, DeviceTypeId id, BusKind bus, Rng& rng) {
+  PeripheralPlug plug;
+  plug.nominal_resistors = codec.ResistorsForId(id);
+  for (int i = 0; i < 4; ++i) {
+    plug.actual_resistors[i] = Ohms(SampleToleranced(
+        plug.nominal_resistors[i].value(), codec.config().resistor_tolerance, rng));
+  }
+  plug.bus = bus;
+  return plug;
+}
+
+ControlBoard::ControlBoard(const ControlBoardConfig& config, Rng& rng)
+    : config_(config), codec_(config.circuit), channels_(config.num_channels) {
+  vibs_.reserve(4);
+  for (int i = 0; i < 4; ++i) {
+    vibs_.emplace_back(config.circuit.vib, rng);
+    calibrated_reference_[i] = vibs_[i].CalibratedReference(config.circuit.base_resistor);
+  }
+}
+
+Status ControlBoard::Connect(ChannelId channel, const PeripheralPlug& plug) {
+  if (channel >= channels_.size()) {
+    return OutOfRange("channel out of range");
+  }
+  if (channels_[channel].plug.has_value()) {
+    return AlreadyExists("channel occupied");
+  }
+  channels_[channel].plug = plug;
+  interrupt_pending_ = true;
+  if (interrupt_handler_) {
+    interrupt_handler_();
+  }
+  return OkStatus();
+}
+
+Status ControlBoard::Disconnect(ChannelId channel) {
+  if (channel >= channels_.size()) {
+    return OutOfRange("channel out of range");
+  }
+  if (!channels_[channel].plug.has_value()) {
+    return NotFound("channel empty");
+  }
+  channels_[channel].plug.reset();
+  interrupt_pending_ = true;
+  if (interrupt_handler_) {
+    interrupt_handler_();
+  }
+  return OkStatus();
+}
+
+bool ControlBoard::occupied(ChannelId channel) const {
+  return channel < channels_.size() && channels_[channel].plug.has_value();
+}
+
+std::optional<BusKind> ControlBoard::bus_for_channel(ChannelId channel) const {
+  if (!occupied(channel)) {
+    return std::nullopt;
+  }
+  return channels_[channel].plug->bus;
+}
+
+std::array<Seconds, 4> ControlBoard::MeasurePulses(const PeripheralPlug& plug) const {
+  std::array<Seconds, 4> pulses;
+  for (int i = 0; i < 4; ++i) {
+    pulses[i] = codec_.Quantize(vibs_[i].PulseFor(plug.actual_resistors[i]));
+  }
+  return pulses;
+}
+
+ScanResult ControlBoard::Scan() {
+  ScanResult result;
+  result.channels.resize(channels_.size());
+
+  Seconds duration = config_.wakeup_time;
+  Seconds pulse_high{0.0};
+
+  // Scan pass: every channel gets a fixed t_ch slot (Figure 5) so that the
+  // worst-case four-pulse sequence always fits.
+  for (size_t ch = 0; ch < channels_.size(); ++ch) {
+    duration += config_.channel_slot;
+    ChannelScan& scan = result.channels[ch];
+    if (!channels_[ch].plug.has_value()) {
+      continue;
+    }
+    const PeripheralPlug& plug = *channels_[ch].plug;
+    scan.occupied = true;
+    scan.pulses = MeasurePulses(plug);
+    for (const Seconds& p : scan.pulses) {
+      pulse_high += p;
+    }
+    std::array<std::optional<uint8_t>, 4> bytes;
+    bool all_ok = true;
+    for (int i = 0; i < 4; ++i) {
+      bytes[i] = codec_.DecodePulse(scan.pulses[i], calibrated_reference_[i]);
+      all_ok = all_ok && bytes[i].has_value();
+    }
+    if (all_ok) {
+      scan.id = MakeDeviceTypeId(*bytes[0], *bytes[1], *bytes[2], *bytes[3]);
+    }
+  }
+
+  // Verification pass (connected channels only): the identification software
+  // re-reads each connected channel's pulse train before committing the ID.
+  for (size_t ch = 0; ch < channels_.size(); ++ch) {
+    if (!channels_[ch].plug.has_value()) {
+      continue;
+    }
+    duration += config_.verify_setup;
+    for (const Seconds& p : result.channels[ch].pulses) {
+      duration += p;
+      pulse_high += p;
+    }
+  }
+  // The scan-pass pulses also elapse inside the channel slots; slots already
+  // cover their duration, so only the verification pass extends wall time.
+  result.duration = duration;
+  result.pulse_high_time = pulse_high;
+
+  const double quiet_time = duration.value() - pulse_high.value();
+  result.energy = Joules(config_.power_quiet.value() * (quiet_time > 0.0 ? quiet_time : 0.0) +
+                         config_.power_active.value() * pulse_high.value());
+
+  lifetime_energy_ += result.energy;
+  ++scan_count_;
+  interrupt_pending_ = false;
+  return result;
+}
+
+}  // namespace micropnp

@@ -1,0 +1,140 @@
+#include "src/net/ip6.h"
+
+#include <cstdio>
+#include <vector>
+
+namespace micropnp {
+
+Ip6Address Ip6Address::FromGroups(const std::array<uint16_t, 8>& groups) {
+  Ip6Address addr;
+  for (int i = 0; i < 8; ++i) {
+    addr.set_group(i, groups[i]);
+  }
+  return addr;
+}
+
+std::optional<Ip6Address> Ip6Address::Parse(const std::string& text) {
+  // Split on "::" first (at most one occurrence).
+  const size_t gap = text.find("::");
+  if (gap != std::string::npos && text.find("::", gap + 1) != std::string::npos) {
+    return std::nullopt;
+  }
+
+  auto parse_groups = [](const std::string& part, std::vector<uint16_t>& out) -> bool {
+    if (part.empty()) {
+      return true;
+    }
+    size_t pos = 0;
+    while (pos <= part.size()) {
+      size_t colon = part.find(':', pos);
+      if (colon == std::string::npos) {
+        colon = part.size();
+      }
+      const std::string group = part.substr(pos, colon - pos);
+      if (group.empty() || group.size() > 4) {
+        return false;
+      }
+      uint32_t value = 0;
+      for (char c : group) {
+        int digit;
+        if (c >= '0' && c <= '9') {
+          digit = c - '0';
+        } else if (c >= 'a' && c <= 'f') {
+          digit = c - 'a' + 10;
+        } else if (c >= 'A' && c <= 'F') {
+          digit = c - 'A' + 10;
+        } else {
+          return false;
+        }
+        value = value * 16 + static_cast<uint32_t>(digit);
+      }
+      out.push_back(static_cast<uint16_t>(value));
+      if (colon == part.size()) {
+        break;
+      }
+      pos = colon + 1;
+    }
+    return true;
+  };
+
+  std::vector<uint16_t> head, tail;
+  if (gap == std::string::npos) {
+    if (!parse_groups(text, head) || head.size() != 8) {
+      return std::nullopt;
+    }
+  } else {
+    if (!parse_groups(text.substr(0, gap), head) || !parse_groups(text.substr(gap + 2), tail)) {
+      return std::nullopt;
+    }
+    if (head.size() + tail.size() > 7) {
+      return std::nullopt;  // "::" must cover at least one zero group
+    }
+  }
+
+  std::array<uint16_t, 8> groups{};
+  for (size_t i = 0; i < head.size(); ++i) {
+    groups[i] = head[i];
+  }
+  for (size_t i = 0; i < tail.size(); ++i) {
+    groups[8 - tail.size() + i] = tail[i];
+  }
+  return FromGroups(groups);
+}
+
+std::string Ip6Address::ToString() const {
+  // Find the longest run of zero groups (>= 2) for '::' compression.
+  int best_start = -1, best_len = 0;
+  int run_start = -1, run_len = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (group(i) == 0) {
+      if (run_start < 0) {
+        run_start = i;
+        run_len = 0;
+      }
+      ++run_len;
+      if (run_len > best_len) {
+        best_start = run_start;
+        best_len = run_len;
+      }
+    } else {
+      run_start = -1;
+    }
+  }
+  if (best_len < 2) {
+    best_start = -1;
+  }
+
+  std::string out;
+  char buf[8];
+  for (int i = 0; i < 8; ++i) {
+    if (best_start >= 0 && i == best_start) {
+      out += "::";
+      i += best_len - 1;
+      continue;
+    }
+    if (!out.empty() && out.back() != ':') {
+      out += ':';
+    }
+    std::snprintf(buf, sizeof(buf), "%x", group(i));
+    out += buf;
+  }
+  if (out.empty()) {
+    return "::";
+  }
+  return out;
+}
+
+bool Ip6Prefix::Contains(const Ip6Address& addr) const {
+  int bits = length;
+  for (int i = 0; i < 16 && bits > 0; ++i) {
+    const int take = bits >= 8 ? 8 : bits;
+    const uint8_t mask = static_cast<uint8_t>(0xff << (8 - take));
+    if ((addr.bytes()[i] & mask) != (base.bytes()[i] & mask)) {
+      return false;
+    }
+    bits -= take;
+  }
+  return true;
+}
+
+}  // namespace micropnp

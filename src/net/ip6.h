@@ -1,0 +1,62 @@
+// IPv6 addresses for the μPnP network architecture (Section 5).
+//
+// Minimal but real: 128-bit addresses, textual parsing/formatting with '::'
+// compression (RFC 5952 style, as the paper's footnote 1 references),
+// multicast classification, and prefix arithmetic used by the
+// unicast-prefix-based multicast schema (RFC 3306, Figure 9).
+
+#ifndef SRC_NET_IP6_H_
+#define SRC_NET_IP6_H_
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace micropnp {
+
+class Ip6Address {
+ public:
+  constexpr Ip6Address() : bytes_{} {}
+  explicit constexpr Ip6Address(const std::array<uint8_t, 16>& bytes) : bytes_(bytes) {}
+
+  // Builds from eight 16-bit groups, e.g. {0x2001, 0xdb8, 0, 0, 0, 0, 0, 1}.
+  static Ip6Address FromGroups(const std::array<uint16_t, 8>& groups);
+
+  // Parses textual form ("2001:db8::1", "ff3e:30:2001:db8::ed3f:ac1").
+  // Returns nullopt on malformed input.
+  static std::optional<Ip6Address> Parse(const std::string& text);
+
+  const std::array<uint8_t, 16>& bytes() const { return bytes_; }
+  uint16_t group(int i) const {
+    return static_cast<uint16_t>((bytes_[2 * i] << 8) | bytes_[2 * i + 1]);
+  }
+  void set_group(int i, uint16_t v) {
+    bytes_[2 * i] = static_cast<uint8_t>(v >> 8);
+    bytes_[2 * i + 1] = static_cast<uint8_t>(v & 0xff);
+  }
+
+  bool IsUnspecified() const { return *this == Ip6Address(); }
+  bool IsMulticast() const { return bytes_[0] == 0xff; }
+
+  // RFC 5952 canonical text: lowercase hex, longest zero run compressed.
+  std::string ToString() const;
+
+  auto operator<=>(const Ip6Address&) const = default;
+
+ private:
+  std::array<uint8_t, 16> bytes_;
+};
+
+// A routing prefix (address + length in bits).
+struct Ip6Prefix {
+  Ip6Address base;
+  int length = 64;
+
+  bool Contains(const Ip6Address& addr) const;
+};
+
+}  // namespace micropnp
+
+#endif  // SRC_NET_IP6_H_

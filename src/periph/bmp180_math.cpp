@@ -1,0 +1,93 @@
+#include "src/periph/bmp180_math.h"
+
+#include <cmath>
+
+namespace micropnp {
+
+int32_t Bmp180ComputeB5(const Bmp180Calibration& cal, int32_t ut) {
+  const int32_t x1 = ((ut - static_cast<int32_t>(cal.ac6)) * static_cast<int32_t>(cal.ac5)) >> 15;
+  const int32_t x2 = (static_cast<int32_t>(cal.mc) << 11) / (x1 + static_cast<int32_t>(cal.md));
+  return x1 + x2;
+}
+
+int32_t Bmp180CompensateTemperature(const Bmp180Calibration& cal, int32_t ut) {
+  const int32_t b5 = Bmp180ComputeB5(cal, ut);
+  return (b5 + 8) >> 4;  // 0.1 degC
+}
+
+int32_t Bmp180CompensatePressure(const Bmp180Calibration& cal, int32_t up, int32_t b5, int oss) {
+  const int32_t b6 = b5 - 4000;
+  int32_t x1 = (static_cast<int32_t>(cal.b2) * ((b6 * b6) >> 12)) >> 11;
+  int32_t x2 = (static_cast<int32_t>(cal.ac2) * b6) >> 11;
+  int32_t x3 = x1 + x2;
+  const int32_t b3 = ((((static_cast<int32_t>(cal.ac1) * 4) + x3) << oss) + 2) / 4;
+  x1 = (static_cast<int32_t>(cal.ac3) * b6) >> 13;
+  x2 = (static_cast<int32_t>(cal.b1) * ((b6 * b6) >> 12)) >> 16;
+  x3 = ((x1 + x2) + 2) >> 2;
+  const uint32_t b4 =
+      (static_cast<uint32_t>(cal.ac4) * static_cast<uint32_t>(x3 + 32768)) >> 15;
+  const uint32_t b7 = (static_cast<uint32_t>(up) - static_cast<uint32_t>(b3)) *
+                      static_cast<uint32_t>(50000 >> oss);
+  int32_t p;
+  if (b7 < 0x80000000u) {
+    p = static_cast<int32_t>((b7 * 2) / b4);
+  } else {
+    p = static_cast<int32_t>((b7 / b4) * 2);
+  }
+  x1 = (p >> 8) * (p >> 8);
+  x1 = (x1 * 3038) >> 16;
+  x2 = (-7357 * p) >> 16;
+  p = p + ((x1 + x2 + 3791) >> 4);
+  return p;
+}
+
+int32_t Bmp180RawFromTemperature(const Bmp180Calibration& cal, double celsius) {
+  const int32_t target = static_cast<int32_t>(std::lround(celsius * 10.0));
+  int32_t lo = 0, hi = 65535;
+  while (lo < hi) {
+    const int32_t mid = lo + (hi - lo) / 2;
+    if (Bmp180CompensateTemperature(cal, mid) < target) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+int32_t Bmp180RawFromPressure(const Bmp180Calibration& cal, double pascals, int32_t b5, int oss) {
+  const int32_t target = static_cast<int32_t>(std::lround(pascals));
+  // UP is a 16+oss bit quantity.
+  int32_t lo = 0, hi = (1 << (16 + oss)) - 1;
+  while (lo < hi) {
+    const int32_t mid = lo + (hi - lo) / 2;
+    if (Bmp180CompensatePressure(cal, mid, b5, oss) < target) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+double Bmp180ConversionSeconds(bool pressure, int oss) {
+  if (!pressure) {
+    return 4.5e-3;
+  }
+  switch (oss) {
+    case 0:
+      return 4.5e-3;
+    case 1:
+      return 7.5e-3;
+    case 2:
+      return 13.5e-3;
+    default:
+      return 25.5e-3;
+  }
+}
+
+double Bmp180AltitudeMeters(double pressure_pa, double sea_level_pa) {
+  return 44330.0 * (1.0 - std::pow(pressure_pa / sea_level_pa, 1.0 / 5.255));
+}
+
+}  // namespace micropnp

@@ -1,0 +1,54 @@
+// BMP180 calibration structure and the normative datasheet compensation
+// algorithm (Bosch BMP180 datasheet, section 3.5).
+//
+// This algorithm is shared: the simulated device *inverts* it to produce raw
+// UT/UP values consistent with the environment's true temperature/pressure,
+// and drivers (DSL and native) *apply* it to recover engineering units — so
+// a correct driver reproduces the environment exactly.
+
+#ifndef SRC_PERIPH_BMP180_MATH_H_
+#define SRC_PERIPH_BMP180_MATH_H_
+
+#include <cstdint>
+
+namespace micropnp {
+
+struct Bmp180Calibration {
+  int16_t ac1 = 408;
+  int16_t ac2 = -72;
+  int16_t ac3 = -14383;
+  uint16_t ac4 = 32741;
+  uint16_t ac5 = 32757;
+  uint16_t ac6 = 23153;
+  int16_t b1 = 6190;
+  int16_t b2 = 4;
+  int16_t mb = -32768;
+  int16_t mc = -8711;
+  int16_t md = 2868;
+};
+
+// Intermediate B5 term, needed by both temperature and pressure compensation.
+int32_t Bmp180ComputeB5(const Bmp180Calibration& cal, int32_t ut);
+
+// True temperature in units of 0.1 degC from the raw value UT.
+int32_t Bmp180CompensateTemperature(const Bmp180Calibration& cal, int32_t ut);
+
+// True pressure in Pa from the raw value UP at oversampling setting `oss`
+// (0..3); `b5` comes from a preceding temperature measurement.
+int32_t Bmp180CompensatePressure(const Bmp180Calibration& cal, int32_t up, int32_t b5, int oss);
+
+// Inverse transforms used by the simulated device: find the raw value whose
+// compensation matches a physical truth.  Monotonic bisection.
+int32_t Bmp180RawFromTemperature(const Bmp180Calibration& cal, double celsius);
+int32_t Bmp180RawFromPressure(const Bmp180Calibration& cal, double pascals, int32_t b5, int oss);
+
+// Conversion time per the datasheet: 4.5 ms for temperature; 4.5 / 7.5 /
+// 13.5 / 25.5 ms for pressure at oss 0..3.
+double Bmp180ConversionSeconds(bool pressure, int oss);
+
+// Barometric altitude (international barometric formula), used by examples.
+double Bmp180AltitudeMeters(double pressure_pa, double sea_level_pa = 101325.0);
+
+}  // namespace micropnp
+
+#endif  // SRC_PERIPH_BMP180_MATH_H_

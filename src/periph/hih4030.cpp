@@ -1,0 +1,10 @@
+#include "src/periph/hih4030.h"
+
+namespace micropnp {
+
+Volts Hih4030::VoltageAt(SimTime now) {
+  const double rh = env_.HumidityPct(now);
+  return Volts(VoltsForHumidity(rh, supply_.value()));
+}
+
+}  // namespace micropnp

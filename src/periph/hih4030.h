@@ -1,0 +1,47 @@
+// HIH-4030 analog relative-humidity sensor (Honeywell), one of the paper's
+// four prototype peripherals.
+//
+// Transfer function (datasheet, ratiometric to supply): Vout =
+// Vsupply * (0.0062 * RH + 0.16).  First-order temperature compensation:
+// RH_true = RH_sensor / (1.0546 - 0.00216 * T).
+
+#ifndef SRC_PERIPH_HIH4030_H_
+#define SRC_PERIPH_HIH4030_H_
+
+#include "src/bus/adc.h"
+#include "src/periph/environment.h"
+#include "src/periph/peripheral.h"
+
+namespace micropnp {
+
+class Hih4030 : public Peripheral, public AnalogSource {
+ public:
+  Hih4030(const Environment& env, Volts supply = Volts(3.3)) : env_(env), supply_(supply) {}
+
+  DeviceTypeId type_id() const override { return kHih4030TypeId; }
+  BusKind bus() const override { return BusKind::kAdc; }
+  std::string name() const override { return "HIH-4030"; }
+  void AttachTo(ChannelBus& bus) override { bus.adc().AttachSource(this); }
+  void DetachFrom(ChannelBus& bus) override { bus.adc().DetachSource(); }
+
+  Volts VoltageAt(SimTime now) override;
+
+  static double VoltsForHumidity(double rh_pct, double supply_v) {
+    return supply_v * (0.0062 * rh_pct + 0.16);
+  }
+  static double HumidityForVolts(double volts, double supply_v) {
+    return (volts / supply_v - 0.16) / 0.0062;
+  }
+  // Temperature-compensated truth (datasheet first-order correction).
+  static double CompensateForTemperature(double rh_sensor, double celsius) {
+    return rh_sensor / (1.0546 - 0.00216 * celsius);
+  }
+
+ private:
+  const Environment& env_;
+  Volts supply_;
+};
+
+}  // namespace micropnp
+
+#endif  // SRC_PERIPH_HIH4030_H_

@@ -1,0 +1,81 @@
+#include "src/periph/id20la.h"
+
+namespace micropnp {
+namespace {
+
+constexpr char kHexUpper[] = "0123456789ABCDEF";
+
+int HexDigit(char c) {
+  if (c >= '0' && c <= '9') {
+    return c - '0';
+  }
+  if (c >= 'A' && c <= 'F') {
+    return c - 'A' + 10;
+  }
+  if (c >= 'a' && c <= 'f') {
+    return c - 'a' + 10;
+  }
+  return -1;
+}
+
+}  // namespace
+
+std::string Id20LaPayload(const RfidCard& card) {
+  std::string payload;
+  payload.reserve(12);
+  uint8_t checksum = 0;
+  for (uint8_t byte : card) {
+    payload.push_back(kHexUpper[byte >> 4]);
+    payload.push_back(kHexUpper[byte & 0xf]);
+    checksum ^= byte;
+  }
+  payload.push_back(kHexUpper[checksum >> 4]);
+  payload.push_back(kHexUpper[checksum & 0xf]);
+  return payload;
+}
+
+std::vector<uint8_t> BuildId20LaFrame(const RfidCard& card) {
+  std::vector<uint8_t> frame;
+  frame.reserve(16);
+  frame.push_back(0x02);  // STX
+  for (char c : Id20LaPayload(card)) {
+    frame.push_back(static_cast<uint8_t>(c));
+  }
+  frame.push_back(0x0d);  // CR
+  frame.push_back(0x0a);  // LF
+  frame.push_back(0x03);  // ETX
+  return frame;
+}
+
+bool ValidateId20LaPayload(const std::string& payload) {
+  if (payload.size() != 12) {
+    return false;
+  }
+  uint8_t checksum = 0;
+  for (int i = 0; i < 5; ++i) {
+    const int hi = HexDigit(payload[2 * i]);
+    const int lo = HexDigit(payload[2 * i + 1]);
+    if (hi < 0 || lo < 0) {
+      return false;
+    }
+    checksum ^= static_cast<uint8_t>((hi << 4) | lo);
+  }
+  const int chi = HexDigit(payload[10]);
+  const int clo = HexDigit(payload[11]);
+  if (chi < 0 || clo < 0) {
+    return false;
+  }
+  return checksum == static_cast<uint8_t>((chi << 4) | clo);
+}
+
+bool Id20La::PresentCard(const RfidCard& card) {
+  if (port_ == nullptr) {
+    return false;
+  }
+  std::vector<uint8_t> frame = BuildId20LaFrame(card);
+  port_->DeviceSendFrame(ByteSpan(frame.data(), frame.size()));
+  ++frames_sent_;
+  return true;
+}
+
+}  // namespace micropnp

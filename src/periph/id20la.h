@@ -1,0 +1,70 @@
+// ID-20LA 125 kHz RFID card reader (ID Innovations), the paper's UART
+// prototype peripheral (Listing 1's driver target).
+//
+// ASCII output format (datasheet): when a card enters the field the module
+// transmits one 16-byte frame at 9600 8N1:
+//
+//   STX(0x02) | 10 ASCII hex data chars | 2 ASCII hex checksum chars |
+//   CR(0x0d) | LF(0x0a) | ETX(0x03)
+//
+// The checksum is the XOR of the five data bytes.  The paper's driver
+// (Listing 1) collects the 12 payload characters, ignoring STX/ETX/CR/LF.
+
+#ifndef SRC_PERIPH_ID20LA_H_
+#define SRC_PERIPH_ID20LA_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/bus/uart.h"
+#include "src/periph/peripheral.h"
+
+namespace micropnp {
+
+// A 5-byte card identifier.
+using RfidCard = std::array<uint8_t, 5>;
+
+// Builds the full 16-byte wire frame for a card.
+std::vector<uint8_t> BuildId20LaFrame(const RfidCard& card);
+
+// The 12 payload characters (10 data + 2 checksum) as ASCII hex.
+std::string Id20LaPayload(const RfidCard& card);
+
+// Validates a 12-character payload (10 data chars + 2 checksum chars).
+bool ValidateId20LaPayload(const std::string& payload);
+
+class Id20La : public Peripheral, public UartEndpoint {
+ public:
+  Id20La() = default;
+
+  DeviceTypeId type_id() const override { return kId20LaTypeId; }
+  BusKind bus() const override { return BusKind::kUart; }
+  std::string name() const override { return "ID-20LA"; }
+  void AttachTo(ChannelBus& bus) override {
+    port_ = &bus.uart();
+    port_->AttachDevice(this);
+  }
+  void DetachFrom(ChannelBus& bus) override {
+    bus.uart().DetachDevice();
+    port_ = nullptr;
+  }
+
+  // UartEndpoint: the ID-20LA is transmit-only; host bytes are ignored.
+  void OnHostByte(uint8_t /*byte*/, SimTime /*now*/) override {}
+
+  // Simulates a card entering the field: the module emits one frame.
+  // Returns false if the peripheral is not attached to a port.
+  bool PresentCard(const RfidCard& card);
+
+  uint64_t frames_sent() const { return frames_sent_; }
+
+ private:
+  UartPort* port_ = nullptr;
+  uint64_t frames_sent_ = 0;
+};
+
+}  // namespace micropnp
+
+#endif  // SRC_PERIPH_ID20LA_H_

@@ -1,0 +1,43 @@
+// Peripheral abstraction: a physical μPnP module.
+//
+// A peripheral couples (a) the four identification resistors that encode its
+// device type (Section 3.1) with (b) a behavioural device model speaking one
+// of the four interconnects.  Plugging a peripheral into a Thing connects
+// both: the control board sees the resistors; the channel bus sees the
+// device.
+
+#ifndef SRC_PERIPH_PERIPHERAL_H_
+#define SRC_PERIPH_PERIPHERAL_H_
+
+#include <string>
+
+#include "src/bus/channel_bus.h"
+#include "src/common/bus_kind.h"
+#include "src/common/types.h"
+
+namespace micropnp {
+
+// Well-known device type identifiers of the reproduction's peripherals, as
+// they would appear in the global μPnP address space (Section 3.3).
+inline constexpr DeviceTypeId kTmp36TypeId = 0xad1c0001;     // ADC temperature
+inline constexpr DeviceTypeId kHih4030TypeId = 0xad1c0002;   // ADC humidity
+inline constexpr DeviceTypeId kId20LaTypeId = 0xbe030003;    // UART RFID reader
+inline constexpr DeviceTypeId kBmp180TypeId = 0x0a0b0004;    // I2C pressure
+inline constexpr DeviceTypeId kRelayTypeId = 0xac700005;     // SPI relay actuator
+
+class Peripheral {
+ public:
+  virtual ~Peripheral() = default;
+
+  virtual DeviceTypeId type_id() const = 0;
+  virtual BusKind bus() const = 0;
+  virtual std::string name() const = 0;
+
+  // Wires the device model onto the channel's bus port of the right kind.
+  virtual void AttachTo(ChannelBus& bus) = 0;
+  virtual void DetachFrom(ChannelBus& bus) = 0;
+};
+
+}  // namespace micropnp
+
+#endif  // SRC_PERIPH_PERIPHERAL_H_

@@ -1,0 +1,34 @@
+#include "src/periph/relay.h"
+
+namespace micropnp {
+
+void Relay::OnSelect(SimTime /*now*/) {
+  byte_index_ = 0;
+  command_ = 0;
+}
+
+uint8_t Relay::Exchange(uint8_t mosi_byte, SimTime /*now*/) {
+  if (byte_index_++ == 0) {
+    command_ = mosi_byte;
+    return kReadyMarker;
+  }
+  switch (command_) {
+    case kCmdSet: {
+      const bool next = (mosi_byte != 0);
+      if (next != closed_) {
+        closed_ = next;
+        ++switch_count_;
+        if (observer_) {
+          observer_(closed_);
+        }
+      }
+      return closed_ ? 1 : 0;
+    }
+    case kCmdGet:
+      return closed_ ? 1 : 0;
+    default:
+      return 0xff;  // unknown command
+  }
+}
+
+}  // namespace micropnp

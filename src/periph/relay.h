@@ -1,0 +1,56 @@
+// SPI relay actuator board.
+//
+// The paper motivates actuators (relay switches) as first-class peripherals;
+// this module is the reproduction's writable peripheral and exercises the
+// SPI leg of the μPnP bus (Table 1).  Protocol: a 2-byte SPI transaction
+// [command, value]; command 0x01 sets the relay state (value 0/1), command
+// 0x02 reads it back.  The device answers with [0xA5, state] (0xA5 is the
+// ready marker shifted out while the command byte shifts in).
+
+#ifndef SRC_PERIPH_RELAY_H_
+#define SRC_PERIPH_RELAY_H_
+
+#include <functional>
+
+#include "src/bus/spi.h"
+#include "src/periph/peripheral.h"
+
+namespace micropnp {
+
+class Relay : public Peripheral, public SpiDevice {
+ public:
+  static constexpr uint8_t kCmdSet = 0x01;
+  static constexpr uint8_t kCmdGet = 0x02;
+  static constexpr uint8_t kReadyMarker = 0xa5;
+
+  Relay() = default;
+
+  DeviceTypeId type_id() const override { return kRelayTypeId; }
+  BusKind bus() const override { return BusKind::kSpi; }
+  std::string name() const override { return "Relay"; }
+  void AttachTo(ChannelBus& bus) override { bus.spi().AttachDevice(this); }
+  void DetachFrom(ChannelBus& bus) override { bus.spi().DetachDevice(); }
+
+  // SpiDevice:
+  uint8_t Exchange(uint8_t mosi_byte, SimTime now) override;
+  void OnSelect(SimTime now) override;
+
+  bool closed() const { return closed_; }
+  uint64_t switch_count() const { return switch_count_; }
+
+  // Observer for scenario assertions (e.g. "the door opened").
+  using StateObserver = std::function<void(bool closed)>;
+  void set_observer(StateObserver observer) { observer_ = std::move(observer); }
+
+ private:
+  bool closed_ = false;
+  uint64_t switch_count_ = 0;
+  // Per-transaction state machine.
+  int byte_index_ = 0;
+  uint8_t command_ = 0;
+  StateObserver observer_;
+};
+
+}  // namespace micropnp
+
+#endif  // SRC_PERIPH_RELAY_H_

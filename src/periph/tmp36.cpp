@@ -1,0 +1,12 @@
+#include "src/periph/tmp36.h"
+
+#include <algorithm>
+
+namespace micropnp {
+
+Volts Tmp36::VoltageAt(SimTime now) {
+  const double celsius = std::clamp(env_.TemperatureC(now), -40.0, 125.0);
+  return Volts(VoltsForTemperature(celsius));
+}
+
+}  // namespace micropnp

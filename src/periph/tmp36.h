@@ -1,0 +1,40 @@
+// TMP36 analog temperature sensor (Analog Devices), one of the paper's four
+// prototype peripherals.
+//
+// Transfer function (datasheet): Vout = 0.5 V + 10 mV/degC, i.e. 750 mV at
+// 25 degC.  Operating range -40..+125 degC.
+
+#ifndef SRC_PERIPH_TMP36_H_
+#define SRC_PERIPH_TMP36_H_
+
+#include "src/bus/adc.h"
+#include "src/periph/environment.h"
+#include "src/periph/peripheral.h"
+
+namespace micropnp {
+
+class Tmp36 : public Peripheral, public AnalogSource {
+ public:
+  explicit Tmp36(const Environment& env) : env_(env) {}
+
+  // Peripheral:
+  DeviceTypeId type_id() const override { return kTmp36TypeId; }
+  BusKind bus() const override { return BusKind::kAdc; }
+  std::string name() const override { return "TMP36"; }
+  void AttachTo(ChannelBus& bus) override { bus.adc().AttachSource(this); }
+  void DetachFrom(ChannelBus& bus) override { bus.adc().DetachSource(); }
+
+  // AnalogSource:
+  Volts VoltageAt(SimTime now) override;
+
+  // Datasheet transfer function, exposed for driver verification.
+  static double VoltsForTemperature(double celsius) { return 0.5 + 0.01 * celsius; }
+  static double TemperatureForVolts(double volts) { return (volts - 0.5) / 0.01; }
+
+ private:
+  const Environment& env_;
+};
+
+}  // namespace micropnp
+
+#endif  // SRC_PERIPH_TMP36_H_

@@ -1,0 +1,177 @@
+#include "src/proto/client.h"
+
+#include "src/common/logging.h"
+
+namespace micropnp {
+
+MicroPnpClient::MicroPnpClient(Scheduler& scheduler, NetNode* node)
+    : scheduler_(scheduler), node_(node) {
+  node_->JoinGroup(AllClientsGroup(node_->prefix()));
+  node_->BindUdp(kMicroPnpUdpPort,
+                 [this](const Ip6Address& src, const Ip6Address& dst, uint16_t port,
+                        const std::vector<uint8_t>& payload) { OnDatagram(src, dst, port, payload); });
+}
+
+void MicroPnpClient::Discover(DeviceTypeId device, double window_ms, DiscoveryCallback callback) {
+  const SequenceNumber seq = sequence_++;
+  discoveries_[seq] = PendingDiscovery{{}, std::move(callback)};
+
+  Message m;
+  m.type = MessageType::kPeripheralDiscovery;
+  m.sequence = seq;
+  node_->SendUdp(PeripheralGroup(node_->prefix(), device), kMicroPnpUdpPort, m.Serialize());
+
+  scheduler_.ScheduleAfter(SimTime::FromMillis(window_ms), [this, seq] {
+    auto it = discoveries_.find(seq);
+    if (it == discoveries_.end()) {
+      return;
+    }
+    PendingDiscovery pending = std::move(it->second);
+    discoveries_.erase(it);
+    pending.callback(std::move(pending.results));
+  });
+}
+
+void MicroPnpClient::Read(const Ip6Address& thing, DeviceTypeId device, ReadCallback callback,
+                          double timeout_ms) {
+  const SequenceNumber seq = sequence_++;
+  Message m = MakeDeviceMessage(MessageType::kRead, seq, device);
+  PendingRead pending;
+  pending.callback = std::move(callback);
+  pending.timeout = scheduler_.ScheduleAfter(SimTime::FromMillis(timeout_ms), [this, seq] {
+    auto it = reads_.find(seq);
+    if (it == reads_.end()) {
+      return;
+    }
+    ReadCallback cb = std::move(it->second.callback);
+    reads_.erase(it);
+    cb(TimeoutError("read timed out"));
+  });
+  reads_[seq] = std::move(pending);
+  node_->SendUdp(thing, kMicroPnpUdpPort, m.Serialize());
+}
+
+void MicroPnpClient::Write(const Ip6Address& thing, DeviceTypeId device, int32_t value,
+                           WriteCallback callback, double timeout_ms) {
+  const SequenceNumber seq = sequence_++;
+  Message m = MakeDeviceMessage(MessageType::kWrite, seq, device);
+  m.write_value = value;
+  PendingWrite pending;
+  pending.callback = std::move(callback);
+  pending.timeout = scheduler_.ScheduleAfter(SimTime::FromMillis(timeout_ms), [this, seq] {
+    auto it = writes_.find(seq);
+    if (it == writes_.end()) {
+      return;
+    }
+    WriteCallback cb = std::move(it->second.callback);
+    writes_.erase(it);
+    cb(TimeoutError("write timed out"));
+  });
+  writes_[seq] = std::move(pending);
+  node_->SendUdp(thing, kMicroPnpUdpPort, m.Serialize());
+}
+
+void MicroPnpClient::StartStream(const Ip6Address& thing, DeviceTypeId device, uint32_t period_ms,
+                                 StreamCallback on_value, StreamClosedCallback on_closed) {
+  const SequenceNumber seq = sequence_++;
+  StreamSub sub;
+  sub.device = device;
+  sub.on_value = std::move(on_value);
+  sub.on_closed = std::move(on_closed);
+  stream_requests_[seq] = std::move(sub);
+
+  Message m = MakeDeviceMessage(MessageType::kStream, seq, device);
+  m.stream_period_ms = period_ms;
+  node_->SendUdp(thing, kMicroPnpUdpPort, m.Serialize());
+}
+
+void MicroPnpClient::StopStream(const Ip6Address& thing, DeviceTypeId device) {
+  Message m = MakeDeviceMessage(MessageType::kStream, sequence_++, device);
+  m.stream_period_ms = 0;  // shutdown request
+  node_->SendUdp(thing, kMicroPnpUdpPort, m.Serialize());
+}
+
+void MicroPnpClient::OnDatagram(const Ip6Address& src, const Ip6Address& /*dst*/,
+                                uint16_t /*port*/, const std::vector<uint8_t>& payload) {
+  Result<Message> parsed = Message::Parse(ByteSpan(payload.data(), payload.size()));
+  if (!parsed.ok()) {
+    return;
+  }
+  const Message& m = *parsed;
+  switch (m.type) {
+    case MessageType::kUnsolicitedAdvertisement:
+      ++advertisements_seen_;
+      if (advertisement_listener_) {
+        advertisement_listener_(src, m.peripherals);
+      }
+      return;
+    case MessageType::kSolicitedAdvertisement: {
+      auto it = discoveries_.find(m.sequence);
+      if (it != discoveries_.end()) {
+        it->second.results.push_back(DiscoveredThing{src, m.peripherals});
+      }
+      return;
+    }
+    case MessageType::kData: {
+      auto it = reads_.find(m.sequence);
+      if (it == reads_.end()) {
+        return;
+      }
+      ReadCallback cb = std::move(it->second.callback);
+      scheduler_.Cancel(it->second.timeout);
+      reads_.erase(it);
+      cb(m.value);
+      return;
+    }
+    case MessageType::kWriteAck: {
+      auto it = writes_.find(m.sequence);
+      if (it == writes_.end()) {
+        return;
+      }
+      WriteCallback cb = std::move(it->second.callback);
+      scheduler_.Cancel(it->second.timeout);
+      writes_.erase(it);
+      cb(m.status == 0 ? OkStatus() : NotFound("peripheral not present"));
+      return;
+    }
+    case MessageType::kStreamEstablished: {
+      auto it = stream_requests_.find(m.sequence);
+      if (it == stream_requests_.end()) {
+        return;
+      }
+      StreamSub sub = std::move(it->second);
+      stream_requests_.erase(it);
+      sub.group = m.stream_group;
+      sub.joined = true;
+      node_->JoinGroup(sub.group);
+      streams_[m.device_id] = std::move(sub);
+      return;
+    }
+    case MessageType::kStreamData: {
+      auto it = streams_.find(m.device_id);
+      if (it != streams_.end() && it->second.on_value) {
+        it->second.on_value(m.value);
+      }
+      return;
+    }
+    case MessageType::kStreamClosed: {
+      auto it = streams_.find(m.device_id);
+      if (it == streams_.end()) {
+        return;
+      }
+      StreamSub sub = std::move(it->second);
+      streams_.erase(it);
+      if (sub.joined) {
+        node_->LeaveGroup(sub.group);
+      }
+      if (sub.on_closed) {
+        sub.on_closed();
+      }
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+}  // namespace micropnp

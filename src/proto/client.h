@@ -1,0 +1,101 @@
+// The μPnP Client (Section 5): discovers Things' peripherals and uses them.
+//
+// "The µPnP Client software may run on both embedded IoT devices and
+// standard computing platforms.  It allows for remote discovery and
+// interaction with µPnP Things."  The client joins the all-clients group to
+// receive unsolicited advertisements, issues discovery (2), and performs
+// read (10)/(11), stream (12)..(15) and write (16)/(17) operations with
+// sequence-number matching and timeouts.
+
+#ifndef SRC_PROTO_CLIENT_H_
+#define SRC_PROTO_CLIENT_H_
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "src/net/fabric.h"
+#include "src/proto/messages.h"
+
+namespace micropnp {
+
+class MicroPnpClient {
+ public:
+  MicroPnpClient(Scheduler& scheduler, NetNode* node);
+
+  // --- discovery --------------------------------------------------------------
+  struct DiscoveredThing {
+    Ip6Address address;
+    std::vector<AdvertisedPeripheral> peripherals;
+  };
+  using DiscoveryCallback = std::function<void(std::vector<DiscoveredThing>)>;
+  // Multicasts (2) to the group of Things carrying `device`, collects (3)
+  // responses for `window_ms`, then invokes the callback once.
+  void Discover(DeviceTypeId device, double window_ms, DiscoveryCallback callback);
+
+  // Unsolicited advertisements ((1), pushed on plug/unplug) surface here.
+  using AdvertisementListener =
+      std::function<void(const Ip6Address& thing, const std::vector<AdvertisedPeripheral>&)>;
+  void set_advertisement_listener(AdvertisementListener listener) {
+    advertisement_listener_ = std::move(listener);
+  }
+
+  // --- remote operations (Section 5.3.1) ---------------------------------------
+  using ReadCallback = std::function<void(Result<WireValue>)>;
+  void Read(const Ip6Address& thing, DeviceTypeId device, ReadCallback callback,
+            double timeout_ms = 2000.0);
+
+  using WriteCallback = std::function<void(Status)>;
+  void Write(const Ip6Address& thing, DeviceTypeId device, int32_t value, WriteCallback callback,
+             double timeout_ms = 2000.0);
+
+  using StreamCallback = std::function<void(const WireValue&)>;
+  using StreamClosedCallback = std::function<void()>;
+  // Subscribes to a value stream: sends (12), joins the group from (13), and
+  // invokes `on_value` for every (14) until (15) closes the stream.
+  void StartStream(const Ip6Address& thing, DeviceTypeId device, uint32_t period_ms,
+                   StreamCallback on_value, StreamClosedCallback on_closed = nullptr);
+  void StopStream(const Ip6Address& thing, DeviceTypeId device);
+
+  NetNode& node() { return *node_; }
+  uint64_t advertisements_seen() const { return advertisements_seen_; }
+
+ private:
+  struct PendingDiscovery {
+    std::vector<DiscoveredThing> results;
+    DiscoveryCallback callback;
+  };
+  struct PendingRead {
+    ReadCallback callback;
+    Scheduler::EventId timeout;
+  };
+  struct PendingWrite {
+    WriteCallback callback;
+    Scheduler::EventId timeout;
+  };
+  struct StreamSub {
+    DeviceTypeId device = 0;
+    Ip6Address group;
+    bool joined = false;
+    StreamCallback on_value;
+    StreamClosedCallback on_closed;
+  };
+
+  void OnDatagram(const Ip6Address& src, const Ip6Address& dst, uint16_t port,
+                  const std::vector<uint8_t>& payload);
+
+  Scheduler& scheduler_;
+  NetNode* node_;
+  SequenceNumber sequence_ = 1;
+  std::map<SequenceNumber, PendingDiscovery> discoveries_;
+  std::map<SequenceNumber, PendingRead> reads_;
+  std::map<SequenceNumber, PendingWrite> writes_;
+  std::map<SequenceNumber, StreamSub> stream_requests_;  // awaiting (13)
+  std::map<DeviceTypeId, StreamSub> streams_;            // established
+  AdvertisementListener advertisement_listener_;
+  uint64_t advertisements_seen_ = 0;
+};
+
+}  // namespace micropnp
+
+#endif  // SRC_PROTO_CLIENT_H_

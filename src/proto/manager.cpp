@@ -1,0 +1,102 @@
+#include "src/proto/manager.h"
+
+#include "src/common/logging.h"
+#include "src/core/driver_sources.h"
+#include "src/dsl/compiler.h"
+
+namespace micropnp {
+
+MicroPnpManager::MicroPnpManager(Scheduler& scheduler, NetNode* node)
+    : scheduler_(scheduler), node_(node) {
+  node_->BindAnycast(ManagerAnycastAddress());
+  node_->BindUdp(kMicroPnpUdpPort,
+                 [this](const Ip6Address& src, const Ip6Address& dst, uint16_t port,
+                        const std::vector<uint8_t>& payload) { OnDatagram(src, dst, port, payload); });
+}
+
+Status MicroPnpManager::AddDriver(const DriverImage& image) {
+  if (image.device_id == kDeviceTypeAllPeripherals || image.device_id == kDeviceTypeAllClients) {
+    return InvalidArgument("reserved device type id");
+  }
+  repository_[image.device_id] = image;
+  return OkStatus();
+}
+
+Status MicroPnpManager::AddDriverSource(const std::string& dsl_source) {
+  Result<DriverImage> image = CompileDriver(dsl_source);
+  if (!image.ok()) {
+    return image.status();
+  }
+  return AddDriver(*image);
+}
+
+Status MicroPnpManager::PreloadBundledDrivers() {
+  for (const BundledDriver& d : BundledDrivers()) {
+    MICROPNP_RETURN_IF_ERROR(AddDriverSource(d.source));
+  }
+  return OkStatus();
+}
+
+void MicroPnpManager::DiscoverDrivers(const Ip6Address& thing, DriverListCallback callback) {
+  const SequenceNumber seq = sequence_++;
+  pending_discoveries_[seq] = std::move(callback);
+  Message m = MakeDeviceMessage(MessageType::kDriverDiscovery, seq, kDeviceTypeAllPeripherals);
+  node_->SendUdp(thing, kMicroPnpUdpPort, m.Serialize());
+}
+
+void MicroPnpManager::RemoveDriver(const Ip6Address& thing, DeviceTypeId id,
+                                   AckCallback callback) {
+  const SequenceNumber seq = sequence_++;
+  pending_removals_[seq] = std::move(callback);
+  Message m = MakeDeviceMessage(MessageType::kDriverRemovalRequest, seq, id);
+  node_->SendUdp(thing, kMicroPnpUdpPort, m.Serialize());
+}
+
+void MicroPnpManager::OnDatagram(const Ip6Address& src, const Ip6Address& /*dst*/,
+                                 uint16_t /*port*/, const std::vector<uint8_t>& payload) {
+  Result<Message> parsed = Message::Parse(ByteSpan(payload.data(), payload.size()));
+  if (!parsed.ok()) {
+    return;
+  }
+  const Message& m = *parsed;
+  switch (m.type) {
+    case MessageType::kDriverInstallRequest: {
+      auto it = repository_.find(m.device_id);
+      if (it == repository_.end()) {
+        MLOG(kWarning, "manager") << "no driver in repository for "
+                                  << FormatDeviceTypeId(m.device_id);
+        return;
+      }
+      // (5) driver upload after the repository lookup.
+      Message upload = MakeDeviceMessage(MessageType::kDriverUpload, m.sequence, m.device_id);
+      upload.driver_image = it->second.Serialize();
+      scheduler_.ScheduleAfter(SimTime::FromMillis(lookup_cpu_ms_), [this, src, upload] {
+        node_->SendUdp(src, kMicroPnpUdpPort, upload.Serialize());
+        ++uploads_;
+      });
+      return;
+    }
+    case MessageType::kDriverAdvertisement: {
+      auto it = pending_discoveries_.find(m.sequence);
+      if (it != pending_discoveries_.end()) {
+        DriverListCallback callback = std::move(it->second);
+        pending_discoveries_.erase(it);
+        callback(m.driver_ids);
+      }
+      return;
+    }
+    case MessageType::kDriverRemovalAck: {
+      auto it = pending_removals_.find(m.sequence);
+      if (it != pending_removals_.end()) {
+        AckCallback callback = std::move(it->second);
+        pending_removals_.erase(it);
+        callback(m.status == 0 ? OkStatus() : InternalError("removal refused"));
+      }
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+}  // namespace micropnp

@@ -1,0 +1,60 @@
+// The μPnP Manager (Section 5): a server-class node holding the driver
+// repository and managing driver deployment on Things.
+//
+// "The µPnP Manager runs on a server-class device and manages the deployment
+// and remote configuration of device drivers on µPnP Things."  It answers
+// driver installation requests (4) with uploads (5) and can remotely
+// discover (6)/(7) and remove (8)/(9) drivers.
+
+#ifndef SRC_PROTO_MANAGER_H_
+#define SRC_PROTO_MANAGER_H_
+
+#include <functional>
+#include <map>
+
+#include "src/dsl/driver_image.h"
+#include "src/net/fabric.h"
+#include "src/proto/messages.h"
+
+namespace micropnp {
+
+class MicroPnpManager {
+ public:
+  // Binds the node to the well-known manager anycast address.
+  MicroPnpManager(Scheduler& scheduler, NetNode* node);
+
+  // --- repository (the micropnp.com driver store, Section 3.3) --------------
+  Status AddDriver(const DriverImage& image);
+  Status AddDriverSource(const std::string& dsl_source);  // compiles then adds
+  // Compiles and adds every bundled driver (TMP36, HIH-4030, ...).
+  Status PreloadBundledDrivers();
+  bool HasDriver(DeviceTypeId id) const { return repository_.count(id) != 0; }
+  size_t repository_size() const { return repository_.size(); }
+
+  // --- remote driver management (Figure 11 messages 6..9) -------------------
+  using DriverListCallback = std::function<void(std::vector<DeviceTypeId>)>;
+  void DiscoverDrivers(const Ip6Address& thing, DriverListCallback callback);
+  using AckCallback = std::function<void(Status)>;
+  void RemoveDriver(const Ip6Address& thing, DeviceTypeId id, AckCallback callback);
+
+  NetNode& node() { return *node_; }
+  uint64_t uploads() const { return uploads_; }
+
+ private:
+  void OnDatagram(const Ip6Address& src, const Ip6Address& dst, uint16_t port,
+                  const std::vector<uint8_t>& payload);
+
+  Scheduler& scheduler_;
+  NetNode* node_;
+  std::map<DeviceTypeId, DriverImage> repository_;
+  std::map<SequenceNumber, DriverListCallback> pending_discoveries_;
+  std::map<SequenceNumber, AckCallback> pending_removals_;
+  SequenceNumber sequence_ = 1;
+  uint64_t uploads_ = 0;
+  // Repository lookup time on the server (milliseconds).
+  double lookup_cpu_ms_ = 0.6;
+};
+
+}  // namespace micropnp
+
+#endif  // SRC_PROTO_MANAGER_H_

@@ -1,0 +1,252 @@
+#include "src/proto/messages.h"
+
+namespace micropnp {
+
+const Ip6Address& ManagerAnycastAddress() {
+  static const Ip6Address kAddress = *Ip6Address::Parse("2001:db8:aaaa::1");
+  return kAddress;
+}
+
+const char* MessageTypeName(MessageType type) {
+  switch (type) {
+    case MessageType::kUnsolicitedAdvertisement:
+      return "unsolicited-advertisement";
+    case MessageType::kPeripheralDiscovery:
+      return "peripheral-discovery";
+    case MessageType::kSolicitedAdvertisement:
+      return "solicited-advertisement";
+    case MessageType::kDriverInstallRequest:
+      return "driver-install-request";
+    case MessageType::kDriverUpload:
+      return "driver-upload";
+    case MessageType::kDriverDiscovery:
+      return "driver-discovery";
+    case MessageType::kDriverAdvertisement:
+      return "driver-advertisement";
+    case MessageType::kDriverRemovalRequest:
+      return "driver-removal-request";
+    case MessageType::kDriverRemovalAck:
+      return "driver-removal-ack";
+    case MessageType::kRead:
+      return "read";
+    case MessageType::kData:
+      return "data";
+    case MessageType::kStream:
+      return "stream";
+    case MessageType::kStreamEstablished:
+      return "stream-established";
+    case MessageType::kStreamData:
+      return "stream-data";
+    case MessageType::kStreamClosed:
+      return "stream-closed";
+    case MessageType::kWrite:
+      return "write";
+    case MessageType::kWriteAck:
+      return "write-ack";
+  }
+  return "unknown";
+}
+
+namespace {
+
+void SerializeValue(ByteWriter& w, const WireValue& value) {
+  w.WriteU8(value.is_array ? 1 : 0);
+  if (value.is_array) {
+    w.WriteU8(static_cast<uint8_t>(value.bytes.size()));
+    w.WriteBytes(ByteSpan(value.bytes.data(), value.bytes.size()));
+  } else {
+    w.WriteI32(value.scalar);
+  }
+}
+
+Result<WireValue> ParseValue(ByteReader& r) {
+  WireValue value;
+  value.is_array = (r.ReadU8() != 0);
+  if (value.is_array) {
+    const uint8_t len = r.ReadU8();
+    value.bytes = r.ReadBytes(len);
+  } else {
+    value.scalar = r.ReadI32();
+  }
+  if (!r.ok()) {
+    return CorruptError("truncated value");
+  }
+  return value;
+}
+
+}  // namespace
+
+std::vector<uint8_t> Message::Serialize() const {
+  ByteWriter w;
+  w.WriteU8(static_cast<uint8_t>(type));
+  w.WriteU16(sequence);
+  switch (type) {
+    case MessageType::kUnsolicitedAdvertisement:
+    case MessageType::kSolicitedAdvertisement:
+      w.WriteU8(static_cast<uint8_t>(peripherals.size()));
+      for (const AdvertisedPeripheral& p : peripherals) {
+        w.WriteU32(p.type);
+        p.info.Serialize(w);
+      }
+      break;
+    case MessageType::kPeripheralDiscovery:
+      filters.Serialize(w);
+      break;
+    case MessageType::kDriverInstallRequest:
+    case MessageType::kDriverRemovalRequest:
+    case MessageType::kDriverDiscovery:
+    case MessageType::kRead:
+      w.WriteU32(device_id);
+      break;
+    case MessageType::kDriverUpload:
+      w.WriteU32(device_id);
+      w.WriteU16(static_cast<uint16_t>(driver_image.size()));
+      w.WriteBytes(ByteSpan(driver_image.data(), driver_image.size()));
+      break;
+    case MessageType::kDriverAdvertisement:
+      w.WriteU8(static_cast<uint8_t>(driver_ids.size()));
+      for (DeviceTypeId id : driver_ids) {
+        w.WriteU32(id);
+      }
+      break;
+    case MessageType::kDriverRemovalAck:
+    case MessageType::kWriteAck:
+      w.WriteU32(device_id);
+      w.WriteU8(status);
+      break;
+    case MessageType::kData:
+    case MessageType::kStreamData:
+      w.WriteU32(device_id);
+      SerializeValue(w, value);
+      break;
+    case MessageType::kStream:
+      w.WriteU32(device_id);
+      w.WriteU32(stream_period_ms);
+      break;
+    case MessageType::kStreamEstablished:
+      w.WriteU32(device_id);
+      w.WriteBytes(ByteSpan(stream_group.bytes().data(), 16));
+      break;
+    case MessageType::kStreamClosed:
+      w.WriteU32(device_id);
+      break;
+    case MessageType::kWrite:
+      w.WriteU32(device_id);
+      w.WriteI32(write_value);
+      break;
+  }
+  return w.Take();
+}
+
+Result<Message> Message::Parse(ByteSpan bytes) {
+  ByteReader r(bytes);
+  Message m;
+  const uint8_t raw_type = r.ReadU8();
+  if (raw_type < 1 || raw_type > 17) {
+    return CorruptError("unknown message type");
+  }
+  m.type = static_cast<MessageType>(raw_type);
+  m.sequence = r.ReadU16();
+
+  switch (m.type) {
+    case MessageType::kUnsolicitedAdvertisement:
+    case MessageType::kSolicitedAdvertisement: {
+      const uint8_t count = r.ReadU8();
+      for (uint8_t i = 0; i < count; ++i) {
+        AdvertisedPeripheral p;
+        p.type = r.ReadU32();
+        Result<TlvList> info = TlvList::Parse(r);
+        if (!info.ok()) {
+          return info.status();
+        }
+        p.info = std::move(*info);
+        m.peripherals.push_back(std::move(p));
+      }
+      break;
+    }
+    case MessageType::kPeripheralDiscovery: {
+      Result<TlvList> filters = TlvList::Parse(r);
+      if (!filters.ok()) {
+        return filters.status();
+      }
+      m.filters = std::move(*filters);
+      break;
+    }
+    case MessageType::kDriverInstallRequest:
+    case MessageType::kDriverRemovalRequest:
+    case MessageType::kDriverDiscovery:
+    case MessageType::kRead:
+    case MessageType::kStreamClosed:
+      m.device_id = r.ReadU32();
+      break;
+    case MessageType::kDriverUpload: {
+      m.device_id = r.ReadU32();
+      const uint16_t len = r.ReadU16();
+      m.driver_image = r.ReadBytes(len);
+      break;
+    }
+    case MessageType::kDriverAdvertisement: {
+      const uint8_t count = r.ReadU8();
+      for (uint8_t i = 0; i < count; ++i) {
+        m.driver_ids.push_back(r.ReadU32());
+      }
+      break;
+    }
+    case MessageType::kDriverRemovalAck:
+    case MessageType::kWriteAck:
+      m.device_id = r.ReadU32();
+      m.status = r.ReadU8();
+      break;
+    case MessageType::kData:
+    case MessageType::kStreamData: {
+      m.device_id = r.ReadU32();
+      Result<WireValue> value = ParseValue(r);
+      if (!value.ok()) {
+        return value.status();
+      }
+      m.value = std::move(*value);
+      break;
+    }
+    case MessageType::kStream:
+      m.device_id = r.ReadU32();
+      m.stream_period_ms = r.ReadU32();
+      break;
+    case MessageType::kStreamEstablished: {
+      m.device_id = r.ReadU32();
+      std::vector<uint8_t> raw = r.ReadBytes(16);
+      if (raw.size() == 16) {
+        std::array<uint8_t, 16> arr{};
+        std::copy(raw.begin(), raw.end(), arr.begin());
+        m.stream_group = Ip6Address(arr);
+      }
+      break;
+    }
+    case MessageType::kWrite:
+      m.device_id = r.ReadU32();
+      m.write_value = r.ReadI32();
+      break;
+  }
+  if (!r.ok()) {
+    return CorruptError("truncated message");
+  }
+  return m;
+}
+
+Message MakeAdvertisement(MessageType type, SequenceNumber seq,
+                          std::vector<AdvertisedPeripheral> peripherals) {
+  Message m;
+  m.type = type;
+  m.sequence = seq;
+  m.peripherals = std::move(peripherals);
+  return m;
+}
+
+Message MakeDeviceMessage(MessageType type, SequenceNumber seq, DeviceTypeId device) {
+  Message m;
+  m.type = type;
+  m.sequence = seq;
+  m.device_id = device;
+  return m;
+}
+
+}  // namespace micropnp

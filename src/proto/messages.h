@@ -1,0 +1,108 @@
+// μPnP interaction protocol messages (Section 5.2, Figures 10 and 11).
+//
+// "All messages are sent as UDP packets to port 6030. ... All messages carry
+// a unique 16-bit unsigned sequence number which is used to associate
+// request and reply messages."  Message numbering follows the paper's
+// (1)..(17) annotations exactly.
+//
+// Wire format: u8 type | u16 sequence | type-specific payload (big-endian).
+
+#ifndef SRC_PROTO_MESSAGES_H_
+#define SRC_PROTO_MESSAGES_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+#include "src/common/tlv.h"
+#include "src/common/types.h"
+#include "src/net/ip6.h"
+
+namespace micropnp {
+
+// Well-known anycast address of the μPnP Manager (Figure 11's
+// 2001:db8:aaaa::1): "the µPnP manager is assigned an anycast IPv6 address
+// to allow for network-level redundancy and scalability".
+const Ip6Address& ManagerAnycastAddress();
+
+enum class MessageType : uint8_t {
+  kUnsolicitedAdvertisement = 1,  // Thing -> all-clients group
+  kPeripheralDiscovery = 2,       // client -> peripheral group
+  kSolicitedAdvertisement = 3,    // Thing -> client (unicast)
+  kDriverInstallRequest = 4,      // Thing -> manager (anycast)
+  kDriverUpload = 5,              // manager -> Thing
+  kDriverDiscovery = 6,           // manager -> Thing
+  kDriverAdvertisement = 7,       // Thing -> manager
+  kDriverRemovalRequest = 8,      // manager -> Thing
+  kDriverRemovalAck = 9,          // Thing -> manager
+  kRead = 10,                     // client -> Thing
+  kData = 11,                     // Thing -> client
+  kStream = 12,                   // client -> Thing
+  kStreamEstablished = 13,        // Thing -> client
+  kStreamData = 14,               // Thing -> stream group
+  kStreamClosed = 15,             // Thing -> stream group
+  kWrite = 16,                    // client -> Thing
+  kWriteAck = 17,                 // Thing -> client
+};
+
+const char* MessageTypeName(MessageType type);
+
+// One peripheral entry inside an advertisement: "(a) the type of sensor
+// (fixed length of 4 bytes) and (b) a set of type-length-value (TLV) encoded
+// tuples" (Section 5.2.1).
+struct AdvertisedPeripheral {
+  DeviceTypeId type = 0;
+  TlvList info;
+
+  bool operator==(const AdvertisedPeripheral&) const = default;
+};
+
+// A value produced by a driver, carried by Data / StreamData messages.
+struct WireValue {
+  bool is_array = false;
+  int32_t scalar = 0;
+  std::vector<uint8_t> bytes;
+
+  bool operator==(const WireValue&) const = default;
+};
+
+struct Message {
+  MessageType type = MessageType::kRead;
+  SequenceNumber sequence = 0;
+
+  // (1)(3) advertisement payload.
+  std::vector<AdvertisedPeripheral> peripherals;
+  // (2) discovery filters.
+  TlvList filters;
+  // (4)(5)(8)(9)(10)..(17): the peripheral the operation targets.
+  DeviceTypeId device_id = 0;
+  // (5) driver upload: serialized DriverImage.
+  std::vector<uint8_t> driver_image;
+  // (7) driver advertisement: installed driver ids.
+  std::vector<DeviceTypeId> driver_ids;
+  // (9)(17) status: 0 = ok.
+  uint8_t status = 0;
+  // (11)(14) value payload.
+  WireValue value;
+  // (12) stream period in ms; 0 requests stream shutdown.
+  uint32_t stream_period_ms = 0;
+  // (13) stream group to join.
+  Ip6Address stream_group;
+  // (16) write value.
+  int32_t write_value = 0;
+
+  std::vector<uint8_t> Serialize() const;
+  static Result<Message> Parse(ByteSpan bytes);
+
+  bool operator==(const Message&) const = default;
+};
+
+// Convenience constructors for the common shapes.
+Message MakeAdvertisement(MessageType type, SequenceNumber seq,
+                          std::vector<AdvertisedPeripheral> peripherals);
+Message MakeDeviceMessage(MessageType type, SequenceNumber seq, DeviceTypeId device);
+
+}  // namespace micropnp
+
+#endif  // SRC_PROTO_MESSAGES_H_

@@ -1,0 +1,407 @@
+#include "src/proto/thing.h"
+
+#include "src/common/logging.h"
+
+namespace micropnp {
+
+MicroPnpThing::MicroPnpThing(Scheduler& scheduler, NetNode* node,
+                             const ControlBoardConfig& board_config, uint64_t seed,
+                             const ThingConfig& config)
+    : scheduler_(scheduler),
+      node_(node),
+      config_(config),
+      rng_(seed),
+      driver_manager_(scheduler, router_),
+      controller_(scheduler, board_config, rng_) {
+  controller_.set_change_listener([this](ChannelId ch, DeviceTypeId id, bool connected) {
+    OnPeripheralChange(ch, id, connected);
+  });
+  node_->BindUdp(kMicroPnpUdpPort,
+                 [this](const Ip6Address& src, const Ip6Address& dst, uint16_t port,
+                        const std::vector<uint8_t>& payload) { OnDatagram(src, dst, port, payload); });
+}
+
+double MicroPnpThing::Jitter(double nominal_ms) {
+  return nominal_ms * (1.0 + config_.cpu_jitter_fraction * rng_.Uniform(-1.0, 1.0));
+}
+
+Status MicroPnpThing::Plug(ChannelId channel, Peripheral* peripheral) {
+  PlugFlowMarks marks;
+  marks.channel = channel;
+  marks.device = peripheral != nullptr ? peripheral->type_id() : 0;
+  marks.plugged = scheduler_.now();
+  MICROPNP_RETURN_IF_ERROR(controller_.Plug(channel, peripheral));
+  last_flow_ = marks;
+  return OkStatus();
+}
+
+Status MicroPnpThing::Unplug(ChannelId channel) { return controller_.Unplug(channel); }
+
+Status MicroPnpThing::PreinstallDriver(const DriverImage& image) {
+  return driver_manager_.InstallImage(image);
+}
+
+std::vector<AdvertisedPeripheral> MicroPnpThing::ConnectedPeripherals() const {
+  std::vector<AdvertisedPeripheral> out;
+  auto& self = const_cast<MicroPnpThing&>(*this);
+  for (ChannelId ch = 0; ch < self.controller_.num_channels(); ++ch) {
+    std::optional<DeviceTypeId> id = self.controller_.identified(ch);
+    if (!id.has_value()) {
+      continue;
+    }
+    AdvertisedPeripheral p;
+    p.type = *id;
+    p.info.AddU8(TlvType::kChannel, ch);
+    Peripheral* peripheral = self.controller_.peripheral(ch);
+    if (peripheral != nullptr) {
+      p.info.AddString(TlvType::kFriendlyName, peripheral->name());
+      p.info.AddU8(TlvType::kBusKind, static_cast<uint8_t>(peripheral->bus()));
+    }
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+// --------------------------------------------------------- plug-in flow ----
+
+void MicroPnpThing::OnPeripheralChange(ChannelId channel, DeviceTypeId id, bool connected) {
+  if (!connected) {
+    streams_[channel].active = false;
+    streams_[channel].generation++;
+    pending_reads_[channel].clear();
+    if (driver_manager_.HostForChannel(channel) != nullptr) {
+      (void)driver_manager_.Deactivate(channel);
+    }
+    node_->LeaveGroup(PeripheralGroup(node_->prefix(), id));
+    // Unsolicited advertisement reflecting the new peripheral set
+    // (Section 5.2.1: generated on connect *or* disconnect).
+    scheduler_.ScheduleAfter(SimTime::FromMillis(Jitter(config_.advert_build_cpu_ms)), [this] {
+      SendAdvertisement(MessageType::kUnsolicitedAdvertisement,
+                        AllClientsGroup(node_->prefix()), NextSequence());
+    });
+    return;
+  }
+
+  if (last_flow_.has_value() && last_flow_->channel == channel) {
+    last_flow_->device = id;
+    last_flow_->identified = scheduler_.now();
+  }
+  // Step 1: derive the peripheral's multicast address (Table 4 row 1).
+  scheduler_.ScheduleAfter(SimTime::FromMillis(Jitter(config_.generate_address_cpu_ms)),
+                           [this, channel, id] {
+                             if (last_flow_.has_value() && last_flow_->channel == channel) {
+                               last_flow_->address_generated = scheduler_.now();
+                             }
+                             ContinueFlowJoinGroup(channel, id);
+                           });
+}
+
+void MicroPnpThing::ContinueFlowJoinGroup(ChannelId channel, DeviceTypeId id) {
+  // Step 2: join the peripheral group (Table 4 row 2).
+  scheduler_.ScheduleAfter(SimTime::FromMillis(Jitter(config_.join_group_cpu_ms)),
+                           [this, channel, id] {
+                             node_->JoinGroup(PeripheralGroup(node_->prefix(), id));
+                             if (last_flow_.has_value() && last_flow_->channel == channel) {
+                               last_flow_->group_joined = scheduler_.now();
+                             }
+                             ContinueFlowEnsureDriver(channel, id);
+                           });
+}
+
+void MicroPnpThing::ContinueFlowEnsureDriver(ChannelId channel, DeviceTypeId id) {
+  if (driver_manager_.HasDriverFor(id)) {
+    if (last_flow_.has_value() && last_flow_->channel == channel) {
+      last_flow_->driver_was_cached = true;
+      last_flow_->driver_requested = scheduler_.now();
+      last_flow_->driver_received = scheduler_.now();
+    }
+    ActivateAndAdvertise(channel, id);
+    return;
+  }
+  // Step 3: request the driver from the manager's anycast address (4).
+  scheduler_.ScheduleAfter(
+      SimTime::FromMillis(Jitter(config_.request_build_cpu_ms)), [this, channel, id] {
+        awaiting_driver_[id] = channel;
+        Message request = MakeDeviceMessage(MessageType::kDriverInstallRequest, NextSequence(), id);
+        if (last_flow_.has_value() && last_flow_->channel == channel) {
+          last_flow_->driver_requested = scheduler_.now();
+        }
+        node_->SendUdp(ManagerAnycastAddress(), kMicroPnpUdpPort, request.Serialize());
+      });
+}
+
+void MicroPnpThing::HandleDriverUpload(const Message& m) {
+  auto waiting = awaiting_driver_.find(m.device_id);
+  const ChannelId channel =
+      waiting != awaiting_driver_.end() ? waiting->second : kInvalidChannel;
+  if (waiting != awaiting_driver_.end()) {
+    awaiting_driver_.erase(waiting);
+  }
+  if (last_flow_.has_value() && last_flow_->channel == channel) {
+    last_flow_->driver_received = scheduler_.now();
+  }
+  InstallReceivedDriver(channel, m.device_id, m.driver_image);
+}
+
+void MicroPnpThing::InstallReceivedDriver(ChannelId channel, DeviceTypeId id,
+                                          std::vector<uint8_t> image_bytes) {
+  // Step 4: parse, CRC-check and flash the image (Table 4 row 4).  Flash
+  // writes carry high variance (page boundaries, erase cycles), which is
+  // what drives Table 4's large install stddev.
+  const double flash_ms = config_.flash_write_ms_per_byte *
+                          static_cast<double>(image_bytes.size()) *
+                          (1.0 + config_.flash_jitter_fraction * rng_.Uniform(-1.0, 1.0));
+  const double install_ms = Jitter(config_.install_parse_cpu_ms) + flash_ms;
+  scheduler_.ScheduleAfter(
+      SimTime::FromMillis(install_ms), [this, channel, id, image_bytes = std::move(image_bytes)] {
+        Result<DriverImage> image = DriverImage::Parse(ByteSpan(image_bytes.data(), image_bytes.size()));
+        if (!image.ok()) {
+          MLOG(kWarning, "thing") << "driver image rejected: " << image.status().ToString();
+          return;
+        }
+        if (image->device_id != id) {
+          MLOG(kWarning, "thing") << "driver image device mismatch";
+          return;
+        }
+        Status installed = driver_manager_.InstallImage(*image);
+        if (!installed.ok()) {
+          MLOG(kWarning, "thing") << "driver install failed: " << installed.ToString();
+          return;
+        }
+        if (channel != kInvalidChannel && controller_.identified(channel) == id) {
+          ActivateAndAdvertise(channel, id);
+        }
+      });
+}
+
+void MicroPnpThing::ActivateAndAdvertise(ChannelId channel, DeviceTypeId id) {
+  scheduler_.ScheduleAfter(
+      SimTime::FromMillis(Jitter(config_.install_activate_cpu_ms)), [this, channel, id] {
+        Status activated = driver_manager_.Activate(channel, id, controller_.bus(channel));
+        if (!activated.ok()) {
+          MLOG(kWarning, "thing") << "driver activation failed: " << activated.ToString();
+          return;
+        }
+        DriverHost* host = driver_manager_.HostForChannel(channel);
+        host->set_result_handler(
+            [this, channel](const ProducedValue& v) { OnProduced(channel, v); });
+        if (last_flow_.has_value() && last_flow_->channel == channel) {
+          last_flow_->driver_installed = scheduler_.now();
+        }
+        // Step 5: unsolicited advertisement to all μPnP clients (Table 4
+        // row 5, message (1) of Figure 10).
+        scheduler_.ScheduleAfter(SimTime::FromMillis(Jitter(config_.advert_build_cpu_ms)),
+                                 [this, channel] {
+                                   SendAdvertisement(MessageType::kUnsolicitedAdvertisement,
+                                                     AllClientsGroup(node_->prefix()),
+                                                     NextSequence());
+                                   if (last_flow_.has_value() && last_flow_->channel == channel) {
+                                     last_flow_->advertised = scheduler_.now();
+                                   }
+                                 });
+      });
+}
+
+void MicroPnpThing::SendAdvertisement(MessageType type, const Ip6Address& destination,
+                                      SequenceNumber seq) {
+  Message m = MakeAdvertisement(type, seq, ConnectedPeripherals());
+  node_->SendUdp(destination, kMicroPnpUdpPort, m.Serialize());
+  ++advertisements_sent_;
+}
+
+// ------------------------------------------------------ message handling ----
+
+void MicroPnpThing::OnDatagram(const Ip6Address& src, const Ip6Address& dst, uint16_t /*port*/,
+                               const std::vector<uint8_t>& payload) {
+  Result<Message> parsed = Message::Parse(ByteSpan(payload.data(), payload.size()));
+  if (!parsed.ok()) {
+    MLOG(kDebug, "thing") << "dropping malformed datagram from " << src.ToString();
+    return;
+  }
+  const Message& m = *parsed;
+  switch (m.type) {
+    case MessageType::kPeripheralDiscovery:
+      HandleDiscovery(src, m, dst);
+      break;
+    case MessageType::kRead:
+      HandleRead(src, m);
+      break;
+    case MessageType::kStream:
+      HandleStream(src, m);
+      break;
+    case MessageType::kWrite:
+      HandleWrite(src, m);
+      break;
+    case MessageType::kDriverUpload:
+      HandleDriverUpload(m);
+      break;
+    case MessageType::kDriverDiscovery:
+      HandleDriverDiscovery(src, m);
+      break;
+    case MessageType::kDriverRemovalRequest:
+      HandleDriverRemoval(src, m);
+      break;
+    default:
+      break;  // not addressed to Things
+  }
+}
+
+void MicroPnpThing::HandleDiscovery(const Ip6Address& src, const Message& m,
+                                    const Ip6Address& group) {
+  // The destination group names the wanted peripheral type (Section 5.2.1).
+  std::optional<DeviceTypeId> wanted = GroupPeripheral(group);
+  if (!wanted.has_value()) {
+    return;
+  }
+  bool match = (*wanted == kDeviceTypeAllPeripherals);
+  for (ChannelId ch = 0; ch < controller_.num_channels(); ++ch) {
+    if (controller_.identified(ch) == *wanted) {
+      match = true;
+    }
+  }
+  if (!match) {
+    return;
+  }
+  // (3) solicited advertisement, unicast back to the discovering client.
+  scheduler_.ScheduleAfter(SimTime::FromMillis(Jitter(config_.advert_build_cpu_ms)),
+                           [this, src, seq = m.sequence] {
+                             SendAdvertisement(MessageType::kSolicitedAdvertisement, src, seq);
+                           });
+}
+
+void MicroPnpThing::HandleRead(const Ip6Address& src, const Message& m) {
+  // Locate the channel serving this device type.
+  for (ChannelId ch = 0; ch < controller_.num_channels(); ++ch) {
+    if (controller_.identified(ch) == m.device_id &&
+        driver_manager_.HostForChannel(ch) != nullptr) {
+      pending_reads_[ch].push_back(PendingRead{src, m.sequence});
+      router_.Post(ch, Event::Of(kEventRead));
+      return;
+    }
+  }
+  // No such peripheral: reply with an error status via a Data message with
+  // status semantics left to the client's timeout (the paper defines no
+  // negative response; we simply stay silent, as a real Thing would).
+}
+
+void MicroPnpThing::OnProduced(ChannelId channel, const ProducedValue& value) {
+  WireValue wire;
+  wire.is_array = value.is_array;
+  wire.scalar = value.scalar;
+  wire.bytes = value.bytes;
+  const std::optional<DeviceTypeId> id = controller_.identified(channel);
+  if (!id.has_value()) {
+    return;
+  }
+
+  auto& queue = pending_reads_[channel];
+  if (!queue.empty()) {
+    PendingRead pending = queue.front();
+    queue.pop_front();
+    ++reads_served_;
+    scheduler_.ScheduleAfter(
+        SimTime::FromMillis(Jitter(config_.reply_build_cpu_ms)), [this, pending, id, wire] {
+          Message reply = MakeDeviceMessage(MessageType::kData, pending.sequence, *id);
+          reply.value = wire;
+          node_->SendUdp(pending.client, kMicroPnpUdpPort, reply.Serialize());
+        });
+    return;
+  }
+  StreamState& stream = streams_[channel];
+  if (stream.active) {
+    scheduler_.ScheduleAfter(
+        SimTime::FromMillis(Jitter(config_.reply_build_cpu_ms)),
+        [this, group = stream.group, id, wire] {
+          Message data = MakeDeviceMessage(MessageType::kStreamData, NextSequence(), *id);
+          data.value = wire;
+          node_->SendUdp(group, kMicroPnpUdpPort, data.Serialize());
+        });
+  }
+}
+
+void MicroPnpThing::HandleStream(const Ip6Address& src, const Message& m) {
+  for (ChannelId ch = 0; ch < controller_.num_channels(); ++ch) {
+    if (controller_.identified(ch) != m.device_id ||
+        driver_manager_.HostForChannel(ch) == nullptr) {
+      continue;
+    }
+    StreamState& stream = streams_[ch];
+    if (m.stream_period_ms == 0) {
+      // Stream shutdown: notify the group with (15) closed.
+      if (stream.active) {
+        stream.active = false;
+        ++stream.generation;
+        Message closed = MakeDeviceMessage(MessageType::kStreamClosed, m.sequence, m.device_id);
+        node_->SendUdp(stream.group, kMicroPnpUdpPort, closed.Serialize());
+      }
+      return;
+    }
+    stream.active = true;
+    stream.period_ms = m.stream_period_ms;
+    stream.group = PeripheralGroup(node_->prefix(), m.device_id);
+    const uint64_t generation = ++stream.generation;
+    // (13) established: tell the client which group carries the values.
+    Message established =
+        MakeDeviceMessage(MessageType::kStreamEstablished, m.sequence, m.device_id);
+    established.stream_group = stream.group;
+    node_->SendUdp(src, kMicroPnpUdpPort, established.Serialize());
+    // Periodic reads drive (14) data messages.
+    scheduler_.ScheduleAfter(SimTime::FromMillis(stream.period_ms),
+                             [this, ch, generation] { StreamTick(ch, generation); });
+    return;
+  }
+}
+
+void MicroPnpThing::StreamTick(ChannelId channel, uint64_t generation) {
+  StreamState& stream = streams_[channel];
+  if (!stream.active || stream.generation != generation) {
+    return;
+  }
+  router_.Post(channel, Event::Of(kEventRead));
+  scheduler_.ScheduleAfter(SimTime::FromMillis(stream.period_ms),
+                           [this, channel, generation] { StreamTick(channel, generation); });
+}
+
+void MicroPnpThing::HandleWrite(const Ip6Address& src, const Message& m) {
+  uint8_t status = 1;  // not found
+  for (ChannelId ch = 0; ch < controller_.num_channels(); ++ch) {
+    if (controller_.identified(ch) == m.device_id &&
+        driver_manager_.HostForChannel(ch) != nullptr) {
+      router_.Post(ch, Event::Of(kEventWrite, m.write_value));
+      ++writes_served_;
+      status = 0;
+      break;
+    }
+  }
+  // (17) acknowledgement confirming the establishment of the new value.
+  scheduler_.ScheduleAfter(SimTime::FromMillis(Jitter(config_.reply_build_cpu_ms)),
+                           [this, src, m, status] {
+                             Message ack = MakeDeviceMessage(MessageType::kWriteAck, m.sequence,
+                                                             m.device_id);
+                             ack.status = status;
+                             node_->SendUdp(src, kMicroPnpUdpPort, ack.Serialize());
+                           });
+}
+
+void MicroPnpThing::HandleDriverDiscovery(const Ip6Address& src, const Message& m) {
+  Message reply = Message{};
+  reply.type = MessageType::kDriverAdvertisement;
+  reply.sequence = m.sequence;
+  reply.driver_ids = driver_manager_.InstalledDrivers();
+  scheduler_.ScheduleAfter(SimTime::FromMillis(Jitter(config_.reply_build_cpu_ms)),
+                           [this, src, reply] {
+                             node_->SendUdp(src, kMicroPnpUdpPort, reply.Serialize());
+                           });
+}
+
+void MicroPnpThing::HandleDriverRemoval(const Ip6Address& src, const Message& m) {
+  Status removed = driver_manager_.RemoveImage(m.device_id);
+  Message ack = MakeDeviceMessage(MessageType::kDriverRemovalAck, m.sequence, m.device_id);
+  ack.status = removed.ok() ? 0 : 1;
+  scheduler_.ScheduleAfter(SimTime::FromMillis(Jitter(config_.reply_build_cpu_ms)),
+                           [this, src, ack] {
+                             node_->SendUdp(src, kMicroPnpUdpPort, ack.Serialize());
+                           });
+}
+
+}  // namespace micropnp

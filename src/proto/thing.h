@@ -1,0 +1,141 @@
+// The μPnP Thing (Section 5): an embedded IoT device with locally connected
+// μPnP hardware, exposing its peripherals to the network.
+//
+// The Thing composes the whole paper: control board + peripheral controller
+// (Section 3), driver runtime (Section 4), and the interaction protocol
+// (Section 5).  When a peripheral is plugged in it executes the flow that
+// Table 4 measures:
+//
+//   identify -> generate multicast address -> join group ->
+//   [request driver -> install driver]     -> advertise (1)
+//
+// and afterwards serves discovery (2)/(3), read (10)/(11), stream
+// (12)..(15) and write (16)/(17), plus the manager-facing driver operations
+// (5)..(9).
+
+#ifndef SRC_PROTO_THING_H_
+#define SRC_PROTO_THING_H_
+
+#include <deque>
+#include <map>
+
+#include "src/net/fabric.h"
+#include "src/proto/messages.h"
+#include "src/rt/driver_manager.h"
+#include "src/rt/peripheral_controller.h"
+
+namespace micropnp {
+
+// CPU cost model of the embedded protocol operations (calibration knobs for
+// the Table 4 reproduction; milliseconds on the 16 MHz AVR).
+struct ThingConfig {
+  double generate_address_cpu_ms = 2.58;   // Table 4 row 1
+  double join_group_cpu_ms = 5.43;         // Table 4 row 2 (MLD + RPL DAO)
+  double request_build_cpu_ms = 0.4;
+  double install_parse_cpu_ms = 6.0;       // image parse + CRC check
+  double flash_write_ms_per_byte = 0.58;   // driver write to internal flash
+  double flash_jitter_fraction = 0.35;     // page-boundary/erase variance
+  double install_activate_cpu_ms = 9.0;    // VM setup + init dispatch
+  double advert_build_cpu_ms = 18.0;       // TLV serialization on the AVR
+  double reply_build_cpu_ms = 6.0;         // read/data response construction
+  double cpu_jitter_fraction = 0.012;
+};
+
+// Simulation-time marks of the most recent plug-in flow (consumed by the
+// Table 4 bench).
+struct PlugFlowMarks {
+  ChannelId channel = 0;
+  DeviceTypeId device = 0;
+  bool driver_was_cached = false;
+  SimTime plugged;            // physical connect (interrupt)
+  SimTime identified;         // identification scan complete
+  SimTime address_generated;  // multicast address derived
+  SimTime group_joined;       // group membership active
+  SimTime driver_requested;   // (4) sent (equals group_joined when cached)
+  SimTime driver_received;    // (5) arrived
+  SimTime driver_installed;   // image activated
+  SimTime advertised;         // (1) handed to the network stack
+};
+
+class MicroPnpThing {
+ public:
+  MicroPnpThing(Scheduler& scheduler, NetNode* node, const ControlBoardConfig& board_config,
+                uint64_t seed, const ThingConfig& config = ThingConfig{});
+
+  // --- local hardware access ------------------------------------------------
+  Status Plug(ChannelId channel, Peripheral* peripheral);
+  Status Unplug(ChannelId channel);
+  PeripheralController& controller() { return controller_; }
+  DriverManager& drivers() { return driver_manager_; }
+  NetNode& node() { return *node_; }
+
+  // Pre-provisions a driver image locally (no over-the-air request needed).
+  Status PreinstallDriver(const DriverImage& image);
+
+  // --- instrumentation --------------------------------------------------------
+  const std::optional<PlugFlowMarks>& last_plug_flow() const { return last_flow_; }
+  uint64_t advertisements_sent() const { return advertisements_sent_; }
+  uint64_t reads_served() const { return reads_served_; }
+  uint64_t writes_served() const { return writes_served_; }
+
+ private:
+  struct PendingRead {
+    Ip6Address client;
+    SequenceNumber sequence;
+  };
+  struct StreamState {
+    bool active = false;
+    uint32_t period_ms = 0;
+    Ip6Address group;
+    uint64_t generation = 0;
+  };
+
+  // Plug-in network flow (Figure 10/11), chained on the scheduler.
+  void OnPeripheralChange(ChannelId channel, DeviceTypeId id, bool connected);
+  void ContinueFlowJoinGroup(ChannelId channel, DeviceTypeId id);
+  void ContinueFlowEnsureDriver(ChannelId channel, DeviceTypeId id);
+  void InstallReceivedDriver(ChannelId channel, DeviceTypeId id, std::vector<uint8_t> image);
+  void ActivateAndAdvertise(ChannelId channel, DeviceTypeId id);
+  void SendAdvertisement(MessageType type, const Ip6Address& destination, SequenceNumber seq);
+
+  // Message handling.
+  void OnDatagram(const Ip6Address& src, const Ip6Address& dst, uint16_t port,
+                  const std::vector<uint8_t>& payload);
+  void HandleDiscovery(const Ip6Address& src, const Message& m, const Ip6Address& group);
+  void HandleRead(const Ip6Address& src, const Message& m);
+  void HandleStream(const Ip6Address& src, const Message& m);
+  void HandleWrite(const Ip6Address& src, const Message& m);
+  void HandleDriverUpload(const Message& m);
+  void HandleDriverDiscovery(const Ip6Address& src, const Message& m);
+  void HandleDriverRemoval(const Ip6Address& src, const Message& m);
+
+  // Driver result routing (read replies and stream data).
+  void OnProduced(ChannelId channel, const ProducedValue& value);
+  void StreamTick(ChannelId channel, uint64_t generation);
+
+  std::vector<AdvertisedPeripheral> ConnectedPeripherals() const;
+  double Jitter(double nominal_ms);
+  SequenceNumber NextSequence() { return sequence_++; }
+
+  Scheduler& scheduler_;
+  NetNode* node_;
+  ThingConfig config_;
+  Rng rng_;
+  EventRouter router_;
+  DriverManager driver_manager_;
+  PeripheralController controller_;
+
+  SequenceNumber sequence_ = 1;
+  std::map<ChannelId, std::deque<PendingRead>> pending_reads_;
+  std::map<ChannelId, StreamState> streams_;
+  // Channels waiting for a driver upload, keyed by device type.
+  std::map<DeviceTypeId, ChannelId> awaiting_driver_;
+  std::optional<PlugFlowMarks> last_flow_;
+  uint64_t advertisements_sent_ = 0;
+  uint64_t reads_served_ = 0;
+  uint64_t writes_served_ = 0;
+};
+
+}  // namespace micropnp
+
+#endif  // SRC_PROTO_THING_H_

@@ -1,0 +1,120 @@
+#include "src/rt/driver_manager.h"
+
+namespace micropnp {
+
+DriverManager::DriverManager(Scheduler& scheduler, EventRouter& router)
+    : scheduler_(scheduler), router_(router) {
+  router_.set_on_post([this] { SchedulePump(); });
+}
+
+Status DriverManager::InstallImage(const DriverImage& image) {
+  if (image.device_id == kDeviceTypeAllPeripherals || image.device_id == kDeviceTypeAllClients) {
+    return InvalidArgument("reserved device type id");
+  }
+  images_[image.device_id] = image;
+  ++installs_;
+  return OkStatus();
+}
+
+Status DriverManager::RemoveImage(DeviceTypeId device_id) {
+  auto it = images_.find(device_id);
+  if (it == images_.end()) {
+    return NotFound("no driver installed for " + FormatDeviceTypeId(device_id));
+  }
+  for (const auto& [channel, host] : hosts_) {
+    if (host->device_id() == device_id) {
+      return BusyError("driver in use on channel " + std::to_string(channel));
+    }
+  }
+  images_.erase(it);
+  return OkStatus();
+}
+
+bool DriverManager::HasDriverFor(DeviceTypeId device_id) const {
+  return images_.count(device_id) != 0;
+}
+
+const DriverImage* DriverManager::ImageFor(DeviceTypeId device_id) const {
+  auto it = images_.find(device_id);
+  return it == images_.end() ? nullptr : &it->second;
+}
+
+std::vector<DeviceTypeId> DriverManager::InstalledDrivers() const {
+  std::vector<DeviceTypeId> ids;
+  ids.reserve(images_.size());
+  for (const auto& [id, image] : images_) {
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+Status DriverManager::Activate(ChannelId channel, DeviceTypeId device_id, ChannelBus& bus) {
+  const DriverImage* image = ImageFor(device_id);
+  if (image == nullptr) {
+    return NotFound("no driver for " + FormatDeviceTypeId(device_id));
+  }
+  if (hosts_.count(channel) != 0) {
+    return AlreadyExists("channel already has an active driver");
+  }
+  auto host = std::make_unique<DriverHost>(*image, channel, scheduler_, bus, router_);
+  hosts_[channel] = std::move(host);
+  router_.Post(channel, Event::Of(kEventInit));
+  SchedulePump();
+  return OkStatus();
+}
+
+Status DriverManager::Deactivate(ChannelId channel) {
+  auto it = hosts_.find(channel);
+  if (it == hosts_.end()) {
+    return NotFound("no active driver on channel");
+  }
+  // Destroy runs synchronously so the driver can release hardware before the
+  // host disappears (Section 4.1: destroy fires when the peripheral is
+  // unplugged).
+  it->second->HandleEvent(Event::Of(kEventDestroy));
+  it->second->Teardown();
+  hosts_.erase(it);
+  return OkStatus();
+}
+
+DriverHost* DriverManager::HostForChannel(ChannelId channel) {
+  auto it = hosts_.find(channel);
+  return it == hosts_.end() ? nullptr : it->second.get();
+}
+
+DriverHost* DriverManager::HostForDevice(DeviceTypeId device_id) {
+  for (auto& [channel, host] : hosts_) {
+    if (host->device_id() == device_id) {
+      return host.get();
+    }
+  }
+  return nullptr;
+}
+
+size_t DriverManager::DispatchPending() {
+  pump_scheduled_ = false;
+  size_t dispatched = 0;
+  while (true) {
+    const bool progressed = router_.DispatchOne([this](int slot, const Event& event) {
+      DriverHost* host = HostForChannel(static_cast<ChannelId>(slot));
+      if (host != nullptr) {
+        host->HandleEvent(event);
+      }
+    });
+    if (!progressed) {
+      break;
+    }
+    ++dispatched;
+  }
+  return dispatched;
+}
+
+void DriverManager::SchedulePump() {
+  if (pump_scheduled_) {
+    return;
+  }
+  pump_scheduled_ = true;
+  scheduler_.ScheduleAfter(SimTime::FromNanos(0), [this] { DispatchPending(); });
+}
+
+}  // namespace micropnp

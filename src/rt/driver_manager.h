@@ -1,0 +1,65 @@
+// The μPnP driver manager (Section 4.2).
+//
+// "The driver manager interfaces with the peripheral controller and keeps
+// track of the peripherals and drivers that are available.  This module also
+// integrates closely with the µPnP network stack and provides operations
+// that enable remote deployment and removal of device drivers."
+//
+// Images are stored by device type id (DEPLOY/REMOVE/DISCOVER of Figure 8's
+// manager API); activation binds an image to a channel as a DriverHost and
+// fires init/destroy lifecycle events (Section 4.1).
+
+#ifndef SRC_RT_DRIVER_MANAGER_H_
+#define SRC_RT_DRIVER_MANAGER_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/rt/driver_host.h"
+
+namespace micropnp {
+
+class DriverManager {
+ public:
+  DriverManager(Scheduler& scheduler, EventRouter& router);
+
+  // ---- driver image store (remote DEPLOY/REMOVE/DISCOVER) -----------------
+  Status InstallImage(const DriverImage& image);
+  Status RemoveImage(DeviceTypeId device_id);  // fails while a host uses it
+  bool HasDriverFor(DeviceTypeId device_id) const;
+  const DriverImage* ImageFor(DeviceTypeId device_id) const;
+  std::vector<DeviceTypeId> InstalledDrivers() const;
+
+  // ---- activation ----------------------------------------------------------
+  // Binds the stored image for `device_id` to `channel`, fires init.
+  Status Activate(ChannelId channel, DeviceTypeId device_id, ChannelBus& bus);
+  // Fires destroy, tears down libraries, releases the slot.
+  Status Deactivate(ChannelId channel);
+  DriverHost* HostForChannel(ChannelId channel);
+  DriverHost* HostForDevice(DeviceTypeId device_id);
+  size_t active_hosts() const { return hosts_.size(); }
+
+  // Drains the event router into the active hosts.  Wired to the scheduler:
+  // any Post schedules a pump, so running the scheduler processes events.
+  size_t DispatchPending();
+
+  EventRouter& router() { return router_; }
+
+  // Over-the-air installs handled (Table 4's driver installation step).
+  uint64_t installs() const { return installs_; }
+
+ private:
+  void SchedulePump();
+
+  Scheduler& scheduler_;
+  EventRouter& router_;
+  std::map<DeviceTypeId, DriverImage> images_;
+  std::map<ChannelId, std::unique_ptr<DriverHost>> hosts_;
+  bool pump_scheduled_ = false;
+  uint64_t installs_ = 0;
+};
+
+}  // namespace micropnp
+
+#endif  // SRC_RT_DRIVER_MANAGER_H_

@@ -1,0 +1,36 @@
+// Runtime event representation.
+//
+// "All I/O operations in µPnP are modelled as events" (Section 4.1).  Events
+// carry up to four 32-bit arguments — enough for every native-library
+// callback and remote operation in the system, and small enough to stay
+// fixed-size on an embedded queue.
+
+#ifndef SRC_RT_EVENT_H_
+#define SRC_RT_EVENT_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/dsl/events.h"
+
+namespace micropnp {
+
+struct Event {
+  EventId id = 0;
+  uint8_t argc = 0;
+  std::array<int32_t, 4> args{};
+
+  static Event Of(EventId id) { return Event{id, 0, {}}; }
+  static Event Of(EventId id, int32_t a0) { return Event{id, 1, {a0}}; }
+  static Event Of(EventId id, int32_t a0, int32_t a1) { return Event{id, 2, {a0, a1}}; }
+
+  bool is_error() const { return IsErrorEvent(id); }
+};
+
+// The fixed-size layout an embedded implementation would queue (id + argc +
+// one 32-bit argument per slot used; we account the worst case).
+inline constexpr size_t kEmbeddedEventBytes = 1 + 1 + 4 * sizeof(int32_t);
+
+}  // namespace micropnp
+
+#endif  // SRC_RT_EVENT_H_

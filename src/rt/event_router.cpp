@@ -1,0 +1,59 @@
+#include "src/rt/event_router.h"
+
+namespace micropnp {
+
+bool EventRouter::Post(int driver_slot, const Event& event) {
+  if (event.is_error()) {
+    return PostError(driver_slot, event);
+  }
+  cycles_ += kRouterEnqueueCycles;
+  if (regular_.size() >= kQueueDepth) {
+    ++events_dropped_;
+    return false;
+  }
+  regular_.push_back(Entry{driver_slot, event});
+  if (on_post_) {
+    on_post_();
+  }
+  return true;
+}
+
+bool EventRouter::PostError(int driver_slot, const Event& event) {
+  cycles_ += kRouterEnqueueCycles;
+  if (errors_.size() >= kQueueDepth) {
+    ++events_dropped_;
+    return false;
+  }
+  errors_.push_back(Entry{driver_slot, event});
+  if (on_post_) {
+    on_post_();
+  }
+  return true;
+}
+
+bool EventRouter::DispatchOne(const Sink& sink) {
+  std::deque<Entry>* queue = nullptr;
+  if (!errors_.empty()) {
+    queue = &errors_;
+  } else if (!regular_.empty()) {
+    queue = &regular_;
+  } else {
+    return false;
+  }
+  Entry entry = std::move(queue->front());
+  queue->pop_front();
+  cycles_ += kRouterDispatchCycles;
+  ++events_dispatched_;
+  sink(entry.slot, entry.event);
+  return true;
+}
+
+size_t EventRouter::ProcessAll(const Sink& sink) {
+  size_t count = 0;
+  while (DispatchOne(sink)) {
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace micropnp

@@ -1,0 +1,123 @@
+#include "src/rt/peripheral_controller.h"
+
+#include "src/common/logging.h"
+
+namespace micropnp {
+
+PeripheralController::PeripheralController(Scheduler& scheduler, const ControlBoardConfig& config,
+                                           Rng& rng)
+    : scheduler_(scheduler), rng_(rng.Fork()), board_(config, rng) {
+  buses_.reserve(board_.num_channels());
+  for (int i = 0; i < board_.num_channels(); ++i) {
+    buses_.push_back(std::make_unique<ChannelBus>(scheduler_));
+  }
+  plugged_.assign(board_.num_channels(), nullptr);
+  identified_.assign(board_.num_channels(), std::nullopt);
+  board_.set_interrupt_handler([this] { OnInterrupt(); });
+}
+
+Status PeripheralController::Plug(ChannelId channel, Peripheral* peripheral) {
+  if (peripheral == nullptr) {
+    return InvalidArgument("null peripheral");
+  }
+  if (channel >= plugged_.size()) {
+    return OutOfRange("channel out of range");
+  }
+  // Manufacture the identification plug for this peripheral instance; the
+  // resistor tolerances come from the controller's seeded stream, so
+  // scenarios are deterministic per deployment seed.
+  PeripheralPlug plug =
+      MakePlugForId(board_.codec(), peripheral->type_id(), peripheral->bus(), rng_);
+  MICROPNP_RETURN_IF_ERROR(board_.Connect(channel, plug));
+  plugged_[channel] = peripheral;
+  peripheral->AttachTo(*buses_[channel]);
+  return OkStatus();
+}
+
+Status PeripheralController::Unplug(ChannelId channel) {
+  if (channel >= plugged_.size()) {
+    return OutOfRange("channel out of range");
+  }
+  if (plugged_[channel] == nullptr) {
+    return NotFound("channel empty");
+  }
+  MICROPNP_RETURN_IF_ERROR(board_.Disconnect(channel));
+  plugged_[channel]->DetachFrom(*buses_[channel]);
+  plugged_[channel] = nullptr;
+  return OkStatus();
+}
+
+std::optional<DeviceTypeId> PeripheralController::identified(ChannelId channel) const {
+  return channel < identified_.size() ? identified_[channel] : std::nullopt;
+}
+
+Peripheral* PeripheralController::peripheral(ChannelId channel) {
+  return channel < plugged_.size() ? plugged_[channel] : nullptr;
+}
+
+Seconds PeripheralController::last_scan_duration() const {
+  return last_scan_.has_value() ? last_scan_->duration : Seconds(0.0);
+}
+
+void PeripheralController::OnInterrupt() {
+  if (scan_scheduled_) {
+    return;  // a scan is already pending; it will observe the latest state
+  }
+  scan_scheduled_ = true;
+  // The scan result (including its duration) is computed by the board model;
+  // the controller applies it after that duration elapses on the simulation
+  // clock — modelling the MCU blocked in the identification routine.
+  scheduler_.ScheduleAfter(SimTime::FromNanos(0), [this] {
+    ScanResult scan = board_.Scan();
+    ++scans_;
+    last_scan_ = scan;
+    scheduler_.ScheduleAfter(SimTime::FromSeconds(scan.duration.value()),
+                             [this, scan] {
+                               scan_scheduled_ = false;
+                               ApplyScan(scan);
+                               // Plug changes racing with the scan re-raise
+                               // the interrupt for another pass.
+                               if (board_.interrupt_pending()) {
+                                 OnInterrupt();
+                               }
+                             });
+  });
+}
+
+void PeripheralController::ApplyScan(const ScanResult& scan) {
+  for (ChannelId ch = 0; ch < scan.channels.size(); ++ch) {
+    const ChannelScan& result = scan.channels[ch];
+    const std::optional<DeviceTypeId> before = identified_[ch];
+
+    if (!result.occupied) {
+      buses_[ch]->Select(std::nullopt);
+      identified_[ch] = std::nullopt;
+      if (before.has_value() && listener_) {
+        listener_(ch, *before, /*connected=*/false);
+      }
+      continue;
+    }
+    if (!result.id.has_value()) {
+      // Guard-band rejection: rescan rather than act on a dubious id.
+      MLOG(kDebug, "rt") << "channel " << static_cast<int>(ch) << " pulse decode rejected; rescan";
+      board_.set_interrupt_handler([this] { OnInterrupt(); });
+      OnInterrupt();
+      continue;
+    }
+    if (before == *result.id) {
+      continue;  // unchanged
+    }
+    if (before.has_value() && listener_) {
+      listener_(ch, *before, /*connected=*/false);
+    }
+    // Mux the connector pins onto the identified peripheral's bus (Table 1).
+    const std::optional<BusKind> bus = board_.bus_for_channel(ch);
+    buses_[ch]->Select(bus);
+    identified_[ch] = *result.id;
+    if (listener_) {
+      listener_(ch, *result.id, /*connected=*/true);
+    }
+  }
+}
+
+}  // namespace micropnp

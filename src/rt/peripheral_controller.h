@@ -1,0 +1,82 @@
+// The peripheral controller (Section 4.2).
+//
+// "The peripheral controller interfaces with the µPnP control board and
+// implements the hardware identification algorithm.  Peripheral connection
+// or disconnection is detected based upon an interrupt.  The peripheral
+// identification circuit is then activated and the timed pulse that results
+// is read via a digital I/O pin."
+//
+// The controller owns the control board and one ChannelBus per channel.  On
+// interrupt it runs the identification scan; after the scan's (simulated)
+// duration it muxes each channel onto the identified peripheral's bus and
+// notifies the listener (the Thing) of connects/disconnects — which drives
+// driver activation and the network advertisement flow.
+
+#ifndef SRC_RT_PERIPHERAL_CONTROLLER_H_
+#define SRC_RT_PERIPHERAL_CONTROLLER_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/hw/control_board.h"
+#include "src/periph/peripheral.h"
+#include "src/rt/driver_manager.h"
+#include "src/sim/scheduler.h"
+
+namespace micropnp {
+
+class PeripheralController {
+ public:
+  PeripheralController(Scheduler& scheduler, const ControlBoardConfig& config, Rng& rng);
+
+  int num_channels() const { return board_.num_channels(); }
+  ChannelBus& bus(ChannelId channel) { return *buses_[channel]; }
+  const ControlBoard& board() const { return board_; }
+  ControlBoard& board() { return board_; }
+
+  // Physically connects/disconnects a peripheral.  The identification scan
+  // runs asynchronously on the simulation clock; listeners fire when it
+  // completes.
+  Status Plug(ChannelId channel, Peripheral* peripheral);
+  Status Unplug(ChannelId channel);
+
+  // Identified device on a channel (nullopt before identification or when
+  // empty).
+  std::optional<DeviceTypeId> identified(ChannelId channel) const;
+  Peripheral* peripheral(ChannelId channel);
+
+  // Fired after each scan, once per changed channel.
+  // connected=true: `id` was identified on `channel` (bus already muxed).
+  // connected=false: the channel became empty.
+  using ChangeListener = std::function<void(ChannelId, DeviceTypeId id, bool connected)>;
+  void set_change_listener(ChangeListener listener) { listener_ = std::move(listener); }
+
+  // Most recent scan statistics (duration/energy, Section 6.1).
+  const std::optional<ScanResult>& last_scan() const { return last_scan_; }
+  uint64_t scans() const { return scans_; }
+  // Duration of the identification process for the most recent scan; the
+  // Thing adds this to Table 4's network time for the end-to-end 488 ms
+  // figure of Section 8.
+  Seconds last_scan_duration() const;
+
+ private:
+  void OnInterrupt();
+  void ApplyScan(const ScanResult& scan);
+
+  Scheduler& scheduler_;
+  Rng rng_;  // per-plug resistor manufacturing variation
+  ControlBoard board_;
+  std::vector<std::unique_ptr<ChannelBus>> buses_;
+  std::vector<Peripheral*> plugged_;                    // physical presence
+  std::vector<std::optional<DeviceTypeId>> identified_; // post-scan state
+  ChangeListener listener_;
+  bool scan_scheduled_ = false;
+  std::optional<ScanResult> last_scan_;
+  uint64_t scans_ = 0;
+};
+
+}  // namespace micropnp
+
+#endif  // SRC_RT_PERIPHERAL_CONTROLLER_H_

@@ -1,0 +1,86 @@
+// The μPnP virtual machine (Section 4.2).
+//
+// "A virtual machine implementing a stack-based execution model executes
+// driver bytecode.  This virtual machine implements a single operand stack
+// and concurrency is realized through event-based programming."
+//
+// Handlers run to completion; there is no preemption and no locking.  The
+// interpreter charges each instruction's modeled AVR cycle cost (see
+// src/dsl/bytecode.h) so the Section 6.2 timing numbers can be reproduced on
+// any host.
+
+#ifndef SRC_RT_VM_H_
+#define SRC_RT_VM_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/dsl/bytecode.h"
+#include "src/dsl/driver_image.h"
+#include "src/rt/event.h"
+
+namespace micropnp {
+
+// Dimensioning of the embedded VM (mirrored by the footprint model).
+inline constexpr size_t kVmStackDepth = 32;
+inline constexpr uint64_t kVmWatchdogInstructions = 100'000;  // runaway handler guard
+
+class Vm {
+ public:
+  // What a handler execution produced.
+  enum class Outcome : uint8_t {
+    kDone,           // ran to completion, no result
+    kValue,          // `return expr;` -> scalar result
+    kArray,          // `return arr;`  -> byte-buffer result
+    kNoHandler,      // driver does not handle this event
+    kTrap,           // fault: bad opcode, stack violation, div/0, watchdog
+  };
+
+  struct ExecResult {
+    Outcome outcome = Outcome::kDone;
+    int32_t value = 0;
+    std::vector<uint8_t> array;
+    uint64_t instructions = 0;
+    uint64_t cycles = 0;
+    Status trap;  // set when outcome == kTrap
+  };
+
+  // Signal sinks: the host wires these to the event router / native libs.
+  // `SelfSignal` receives driver-internal events (kSignalSelf); `LibSignal`
+  // receives native library invocations (kSignalLib).
+  using SelfSignal = std::function<void(const Event&)>;
+  using LibSignal = std::function<void(LibraryId, LibraryFunctionId, std::span<const int32_t>)>;
+
+  explicit Vm(const DriverImage& image);
+
+  // Executes the handler for `event` (if any).  Arguments beyond the
+  // handler's declared count are ignored; missing ones read as zero.
+  ExecResult Dispatch(const Event& event, const SelfSignal& self_signal,
+                      const LibSignal& lib_signal);
+
+  // --- introspection (tests, debugger-style tooling) -----------------------
+  int32_t global(size_t slot) const { return slot < globals_.size() ? globals_[slot] : 0; }
+  void set_global(size_t slot, int32_t v);
+  std::span<const uint8_t> array(size_t index) const;
+  const DriverImage& image() const { return image_; }
+  uint64_t total_instructions() const { return total_instructions_; }
+  uint64_t total_cycles() const { return total_cycles_; }
+  double MicrosPerInstructionAtMcuClock() const;
+
+ private:
+  // Truncates a 32-bit value to a declared storage type (JVM-style).
+  static int32_t TruncateTo(DslType type, int32_t v);
+
+  DriverImage image_;
+  std::vector<int32_t> globals_;
+  std::vector<std::vector<uint8_t>> arrays_;
+  uint64_t total_instructions_ = 0;
+  uint64_t total_cycles_ = 0;
+};
+
+}  // namespace micropnp
+
+#endif  // SRC_RT_VM_H_

@@ -1,0 +1,21 @@
+#include "src/sim/clock.h"
+
+#include <cstdio>
+
+namespace micropnp {
+
+std::string SimTime::ToString() const {
+  char buf[32];
+  if (ns_ < 1000ull) {
+    std::snprintf(buf, sizeof(buf), "%lluns", static_cast<unsigned long long>(ns_));
+  } else if (ns_ < 1000000ull) {
+    std::snprintf(buf, sizeof(buf), "%.3fus", micros());
+  } else if (ns_ < 1000000000ull) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", millis());
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fs", seconds());
+  }
+  return std::string(buf);
+}
+
+}  // namespace micropnp

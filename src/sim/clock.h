@@ -1,0 +1,58 @@
+// Simulated time.
+//
+// The whole reproduction runs on a discrete-event clock with nanosecond
+// resolution: hardware pulse generation, radio airtime and CPU cycle costs all
+// schedule events on the same timeline, which is what makes the Table 4 /
+// Section 6 timing numbers composable.
+
+#ifndef SRC_SIM_CLOCK_H_
+#define SRC_SIM_CLOCK_H_
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace micropnp {
+
+// A point in simulated time, in nanoseconds since simulation start.
+class SimTime {
+ public:
+  constexpr SimTime() : ns_(0) {}
+  constexpr explicit SimTime(uint64_t ns) : ns_(ns) {}
+
+  static constexpr SimTime FromNanos(uint64_t ns) { return SimTime(ns); }
+  static constexpr SimTime FromMicros(double us) {
+    return SimTime(static_cast<uint64_t>(us * 1e3 + 0.5));
+  }
+  static constexpr SimTime FromMillis(double ms) {
+    return SimTime(static_cast<uint64_t>(ms * 1e6 + 0.5));
+  }
+  static constexpr SimTime FromSeconds(double s) {
+    return SimTime(static_cast<uint64_t>(s * 1e9 + 0.5));
+  }
+
+  constexpr uint64_t nanos() const { return ns_; }
+  constexpr double micros() const { return static_cast<double>(ns_) * 1e-3; }
+  constexpr double millis() const { return static_cast<double>(ns_) * 1e-6; }
+  constexpr double seconds() const { return static_cast<double>(ns_) * 1e-9; }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  constexpr SimTime operator+(SimTime d) const { return SimTime(ns_ + d.ns_); }
+  constexpr SimTime operator-(SimTime d) const { return SimTime(ns_ >= d.ns_ ? ns_ - d.ns_ : 0); }
+  SimTime& operator+=(SimTime d) {
+    ns_ += d.ns_;
+    return *this;
+  }
+
+  std::string ToString() const;  // "12.345ms"
+
+ private:
+  uint64_t ns_;
+};
+
+using SimDuration = SimTime;
+
+}  // namespace micropnp
+
+#endif  // SRC_SIM_CLOCK_H_

@@ -1,0 +1,89 @@
+#include "src/sim/scheduler.h"
+
+#include <algorithm>
+
+namespace micropnp {
+
+Scheduler::EventId Scheduler::ScheduleAt(SimTime when, Action action) {
+  if (when < now_) {
+    when = now_;
+  }
+  const EventId id = next_id_++;
+  queue_.push(Entry{when, next_sequence_++, id});
+  actions_.emplace_back(id, std::move(action));
+  ++pending_count_;
+  return id;
+}
+
+bool Scheduler::Cancel(EventId id) {
+  for (auto& [eid, action] : actions_) {
+    if (eid == id && action != nullptr) {
+      action = nullptr;  // tombstone; the queue entry is skipped when popped
+      --pending_count_;
+      return true;
+    }
+  }
+  return false;
+}
+
+Scheduler::Action Scheduler::TakeAction(EventId id) {
+  for (auto it = actions_.begin(); it != actions_.end(); ++it) {
+    if (it->first == id) {
+      Action action = std::move(it->second);
+      actions_.erase(it);
+      return action;
+    }
+  }
+  return nullptr;
+}
+
+bool Scheduler::Step() {
+  while (!queue_.empty()) {
+    Entry entry = queue_.top();
+    queue_.pop();
+    Action action = TakeAction(entry.id);
+    if (action == nullptr) {
+      continue;  // cancelled
+    }
+    now_ = entry.when;
+    --pending_count_;
+    ++executed_;
+    action();
+    return true;
+  }
+  return false;
+}
+
+size_t Scheduler::Run() {
+  size_t count = 0;
+  while (Step()) {
+    ++count;
+  }
+  return count;
+}
+
+size_t Scheduler::RunUntil(SimTime deadline) {
+  size_t count = 0;
+  // Cancelled entries (tombstones) are discarded inline; Step() must not be
+  // used here because it would run the next *live* event even when that
+  // event lies beyond the deadline.
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    Entry entry = queue_.top();
+    queue_.pop();
+    Action action = TakeAction(entry.id);
+    if (action == nullptr) {
+      continue;  // cancelled
+    }
+    now_ = entry.when;
+    --pending_count_;
+    ++executed_;
+    action();
+    ++count;
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+  return count;
+}
+
+}  // namespace micropnp

@@ -1,0 +1,85 @@
+// Discrete-event scheduler.
+//
+// Events are closures ordered by (time, insertion order).  Equal-time events
+// run in FIFO order, which keeps the simulation deterministic.
+
+#ifndef SRC_SIM_SCHEDULER_H_
+#define SRC_SIM_SCHEDULER_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/sim/clock.h"
+
+namespace micropnp {
+
+class Scheduler {
+ public:
+  using Action = std::function<void()>;
+  using EventId = uint64_t;
+
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  SimTime now() const { return now_; }
+
+  // Schedules `action` to run at absolute time `when` (clamped to now).
+  // Returns an id usable with Cancel().
+  EventId ScheduleAt(SimTime when, Action action);
+
+  // Schedules `action` to run `delay` after the current time.
+  EventId ScheduleAfter(SimDuration delay, Action action) {
+    return ScheduleAt(now_ + delay, std::move(action));
+  }
+
+  // Cancels a pending event.  Returns false if it already ran or is unknown.
+  bool Cancel(EventId id);
+
+  // Runs events until the queue drains.  Returns the number of events run.
+  size_t Run();
+
+  // Runs events with time <= deadline; leaves later events queued and
+  // advances the clock to `deadline`.  Returns the number of events run.
+  size_t RunUntil(SimTime deadline);
+
+  // Runs a single event if one is pending.  Returns true if an event ran.
+  bool Step();
+
+  bool empty() const { return pending_count_ == 0; }
+  size_t pending() const { return pending_count_; }
+
+  // Total events executed since construction (for sanity checks in tests).
+  uint64_t executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    SimTime when;
+    uint64_t sequence;
+    EventId id;
+    // Ordered as a max-heap by default; invert for earliest-first.
+    bool operator<(const Entry& other) const {
+      if (when != other.when) {
+        return when > other.when;
+      }
+      return sequence > other.sequence;
+    }
+  };
+
+  SimTime now_;
+  uint64_t next_sequence_ = 0;
+  EventId next_id_ = 1;
+  uint64_t executed_ = 0;
+  size_t pending_count_ = 0;
+  std::priority_queue<Entry> queue_;
+  // Actions stored separately so cancellation is O(1) (tombstone).
+  std::vector<std::pair<EventId, Action>> actions_;
+
+  Action TakeAction(EventId id);
+};
+
+}  // namespace micropnp
+
+#endif  // SRC_SIM_SCHEDULER_H_

@@ -1,0 +1,380 @@
+// Unit tests for the simulated peripherals: environment, TMP36, HIH-4030,
+// ID-20LA, BMP180 (register-level + datasheet compensation), relay.
+
+#include <gtest/gtest.h>
+
+#include "src/bus/channel_bus.h"
+#include "src/periph/bmp180.h"
+#include "src/periph/bmp180_math.h"
+#include "src/periph/environment.h"
+#include "src/periph/hih4030.h"
+#include "src/periph/id20la.h"
+#include "src/periph/relay.h"
+#include "src/periph/tmp36.h"
+
+namespace micropnp {
+namespace {
+
+// ---------------------------------------------------------- environment ----
+
+TEST(Environment, SignalsStayInPhysicalRanges) {
+  Environment env;
+  for (int hour = 0; hour < 48; ++hour) {
+    SimTime t = SimTime::FromSeconds(hour * 3600.0);
+    EXPECT_GT(env.TemperatureC(t), -20.0);
+    EXPECT_LT(env.TemperatureC(t), 50.0);
+    EXPECT_GE(env.HumidityPct(t), 1.0);
+    EXPECT_LE(env.HumidityPct(t), 99.0);
+    EXPECT_GT(env.PressurePa(t), 95000.0);
+    EXPECT_LT(env.PressurePa(t), 107000.0);
+  }
+}
+
+TEST(Environment, IsDeterministic) {
+  Environment a, b;
+  SimTime t = SimTime::FromSeconds(12345.0);
+  EXPECT_DOUBLE_EQ(a.TemperatureC(t), b.TemperatureC(t));
+  EXPECT_DOUBLE_EQ(a.PressurePa(t), b.PressurePa(t));
+}
+
+TEST(Environment, HasDiurnalVariation) {
+  Environment env;
+  // Coldest near t=0, warmest ~12h later with the default phase.
+  double morning = env.TemperatureC(SimTime::FromSeconds(0.0));
+  double noonish = env.TemperatureC(SimTime::FromSeconds(43200.0));
+  EXPECT_GT(noonish - morning, 5.0);
+}
+
+// ---------------------------------------------------------------- tmp36 ----
+
+TEST(Tmp36, TransferFunctionMatchesDatasheet) {
+  EXPECT_NEAR(Tmp36::VoltsForTemperature(25.0), 0.750, 1e-9);
+  EXPECT_NEAR(Tmp36::TemperatureForVolts(0.750), 25.0, 1e-9);
+  EXPECT_NEAR(Tmp36::VoltsForTemperature(0.0), 0.5, 1e-9);
+}
+
+TEST(Tmp36, EndToEndThroughAdc) {
+  Scheduler sched;
+  ChannelBus bus(sched);
+  Environment env;
+  Tmp36 sensor(env);
+  sensor.AttachTo(bus);
+  ASSERT_TRUE(bus.adc().attached());
+
+  Result<uint16_t> code = bus.adc().Sample();
+  ASSERT_TRUE(code.ok());
+  const double volts = bus.adc().CodeToVoltage(*code).value();
+  const double measured = Tmp36::TemperatureForVolts(volts);
+  // 10-bit quantization on 3.3 V -> ~0.32 degC per LSB.
+  EXPECT_NEAR(measured, env.TemperatureC(sched.now()), 0.4);
+
+  sensor.DetachFrom(bus);
+  EXPECT_FALSE(bus.adc().attached());
+}
+
+TEST(Tmp36, Metadata) {
+  Environment env;
+  Tmp36 sensor(env);
+  EXPECT_EQ(sensor.type_id(), kTmp36TypeId);
+  EXPECT_EQ(sensor.bus(), BusKind::kAdc);
+  EXPECT_EQ(sensor.name(), "TMP36");
+}
+
+// -------------------------------------------------------------- hih4030 ----
+
+TEST(Hih4030, TransferFunctionRoundTrips) {
+  for (double rh = 5.0; rh <= 95.0; rh += 10.0) {
+    double v = Hih4030::VoltsForHumidity(rh, 3.3);
+    EXPECT_NEAR(Hih4030::HumidityForVolts(v, 3.3), rh, 1e-9);
+  }
+}
+
+TEST(Hih4030, EndToEndThroughAdc) {
+  Scheduler sched;
+  ChannelBus bus(sched);
+  Environment env;
+  Hih4030 sensor(env);
+  sensor.AttachTo(bus);
+  Result<uint16_t> code = bus.adc().Sample();
+  ASSERT_TRUE(code.ok());
+  const double volts = bus.adc().CodeToVoltage(*code).value();
+  EXPECT_NEAR(Hih4030::HumidityForVolts(volts, 3.3), env.HumidityPct(sched.now()), 1.0);
+}
+
+TEST(Hih4030, TemperatureCompensationDirection) {
+  // Warmer air -> sensor under-reads; compensation raises the value.
+  const double raw = 50.0;
+  EXPECT_GT(Hih4030::CompensateForTemperature(raw, 40.0),
+            Hih4030::CompensateForTemperature(raw, 10.0));
+}
+
+// --------------------------------------------------------------- id20la ----
+
+TEST(Id20La, FrameLayout) {
+  RfidCard card = {0x4a, 0x00, 0xd2, 0x3f, 0x81};
+  std::vector<uint8_t> frame = BuildId20LaFrame(card);
+  ASSERT_EQ(frame.size(), 16u);
+  EXPECT_EQ(frame.front(), 0x02);  // STX
+  EXPECT_EQ(frame[13], 0x0d);      // CR
+  EXPECT_EQ(frame[14], 0x0a);      // LF
+  EXPECT_EQ(frame.back(), 0x03);   // ETX
+}
+
+TEST(Id20La, ChecksumIsXorOfDataBytes) {
+  RfidCard card = {0x01, 0x02, 0x04, 0x08, 0x10};
+  std::string payload = Id20LaPayload(card);
+  ASSERT_EQ(payload.size(), 12u);
+  EXPECT_EQ(payload.substr(10), "1F");  // 0x01^0x02^0x04^0x08^0x10 = 0x1f
+  EXPECT_TRUE(ValidateId20LaPayload(payload));
+}
+
+TEST(Id20La, ValidateRejectsCorruptPayloads) {
+  RfidCard card = {0xde, 0xad, 0xbe, 0xef, 0x42};
+  std::string payload = Id20LaPayload(card);
+  ASSERT_TRUE(ValidateId20LaPayload(payload));
+  payload[3] = (payload[3] == 'A') ? 'B' : 'A';
+  EXPECT_FALSE(ValidateId20LaPayload(payload));
+  EXPECT_FALSE(ValidateId20LaPayload("short"));
+  EXPECT_FALSE(ValidateId20LaPayload("GGGGGGGGGGGG"));  // non-hex
+}
+
+TEST(Id20La, PresentCardEmitsFrameOverUart) {
+  Scheduler sched;
+  ChannelBus bus(sched);
+  Id20La reader;
+  reader.AttachTo(bus);
+  ASSERT_TRUE(bus.uart().Init(UartConfig{}).ok());
+
+  std::vector<uint8_t> received;
+  bus.uart().set_rx_handler([&](uint8_t b) { received.push_back(b); });
+
+  RfidCard card = {0x4a, 0x00, 0xd2, 0x3f, 0x81};
+  ASSERT_TRUE(reader.PresentCard(card));
+  sched.Run();
+
+  EXPECT_EQ(received, BuildId20LaFrame(card));
+  EXPECT_EQ(reader.frames_sent(), 1u);
+  // Frame takes 16 byte-times at 9600 8N1 ~ 16.67 ms.
+  EXPECT_NEAR(sched.now().millis(), 16.0 * 10.0 / 9600.0 * 1e3, 0.1);
+}
+
+TEST(Id20La, PresentCardFailsWhenUnplugged) {
+  Id20La reader;
+  EXPECT_FALSE(reader.PresentCard(RfidCard{}));
+}
+
+// ------------------------------------------------------------ bmp180 math --
+
+TEST(Bmp180Math, DatasheetWorkedExample) {
+  // Bosch datasheet section 3.5: UT=27898, UP=23843, oss=0 with the example
+  // calibration yields T=150 (15.0 degC) and p=69964 Pa.
+  Bmp180Calibration cal;  // defaults are the datasheet example
+  EXPECT_EQ(Bmp180CompensateTemperature(cal, 27898), 150);
+  const int32_t b5 = Bmp180ComputeB5(cal, 27898);
+  EXPECT_EQ(Bmp180CompensatePressure(cal, 23843, b5, 0), 69964);
+}
+
+TEST(Bmp180Math, InverseTemperatureRoundTrips) {
+  Bmp180Calibration cal;
+  for (double t = -10.0; t <= 40.0; t += 5.0) {
+    int32_t ut = Bmp180RawFromTemperature(cal, t);
+    EXPECT_NEAR(Bmp180CompensateTemperature(cal, ut) / 10.0, t, 0.15) << "t=" << t;
+  }
+}
+
+TEST(Bmp180Math, InversePressureRoundTrips) {
+  Bmp180Calibration cal;
+  const int32_t b5 = Bmp180ComputeB5(cal, Bmp180RawFromTemperature(cal, 15.0));
+  for (int oss = 0; oss <= 3; ++oss) {
+    for (double p = 95000.0; p <= 105000.0; p += 2500.0) {
+      int32_t up = Bmp180RawFromPressure(cal, p, b5, oss);
+      EXPECT_NEAR(Bmp180CompensatePressure(cal, up, b5, oss), p, 6.0)
+          << "p=" << p << " oss=" << oss;
+    }
+  }
+}
+
+TEST(Bmp180Math, ConversionTimesFollowDatasheet) {
+  EXPECT_NEAR(Bmp180ConversionSeconds(false, 0), 4.5e-3, 1e-9);
+  EXPECT_NEAR(Bmp180ConversionSeconds(true, 0), 4.5e-3, 1e-9);
+  EXPECT_NEAR(Bmp180ConversionSeconds(true, 3), 25.5e-3, 1e-9);
+}
+
+TEST(Bmp180Math, AltitudeFormula) {
+  EXPECT_NEAR(Bmp180AltitudeMeters(101325.0), 0.0, 1e-6);
+  // ~8.3 m per hPa near sea level.
+  EXPECT_NEAR(Bmp180AltitudeMeters(100225.0), 92.0, 3.0);
+}
+
+// ---------------------------------------------------------------- bmp180 ---
+
+class Bmp180Test : public ::testing::Test {
+ protected:
+  Bmp180Test() : bus_(sched_), sensor_(env_) { sensor_.AttachTo(bus_); }
+
+  // Helper: write register pointer then read back `n` bytes.
+  std::vector<uint8_t> ReadRegs(uint8_t reg, size_t n) {
+    const uint8_t ptr[] = {reg};
+    Result<std::vector<uint8_t>> out = bus_.i2c().WriteRead(Bmp180::kI2cAddress,
+                                                            ByteSpan(ptr, 1), n);
+    EXPECT_TRUE(out.ok());
+    return out.ok() ? *out : std::vector<uint8_t>{};
+  }
+
+  Status WriteReg(uint8_t reg, uint8_t value) {
+    const uint8_t cmd[] = {reg, value};
+    return bus_.i2c().Write(Bmp180::kI2cAddress, ByteSpan(cmd, 2));
+  }
+
+  Scheduler sched_;
+  ChannelBus bus_;
+  Environment env_;
+  Bmp180 sensor_;
+};
+
+TEST_F(Bmp180Test, ChipIdReads0x55) {
+  std::vector<uint8_t> id = ReadRegs(Bmp180::kRegChipId, 1);
+  ASSERT_EQ(id.size(), 1u);
+  EXPECT_EQ(id[0], 0x55);
+}
+
+TEST_F(Bmp180Test, CalibrationEepromMatchesConfiguredConstants) {
+  std::vector<uint8_t> cal = ReadRegs(Bmp180::kRegCalibrationStart, 22);
+  ASSERT_EQ(cal.size(), 22u);
+  // AC1 = 408 = 0x0198, big-endian.
+  EXPECT_EQ(cal[0], 0x01);
+  EXPECT_EQ(cal[1], 0x98);
+  // MD = 2868 = 0x0B34 at offset 20.
+  EXPECT_EQ(cal[20], 0x0b);
+  EXPECT_EQ(cal[21], 0x34);
+}
+
+TEST_F(Bmp180Test, TemperatureMeasurementMatchesEnvironment) {
+  ASSERT_TRUE(WriteReg(Bmp180::kRegCtrlMeas, Bmp180::kCmdReadTemperature).ok());
+  sched_.RunUntil(sched_.now() + SimTime::FromMillis(5));  // wait conversion
+
+  std::vector<uint8_t> raw = ReadRegs(Bmp180::kRegOutMsb, 2);
+  const int32_t ut = (raw[0] << 8) | raw[1];
+  const double measured = Bmp180CompensateTemperature(sensor_.calibration(), ut) / 10.0;
+  EXPECT_NEAR(measured, env_.TemperatureC(sched_.now()), 0.2);
+}
+
+TEST_F(Bmp180Test, PressureMeasurementMatchesEnvironment) {
+  // Temperature first (for B5), then pressure at oss=0.
+  ASSERT_TRUE(WriteReg(Bmp180::kRegCtrlMeas, Bmp180::kCmdReadTemperature).ok());
+  sched_.RunUntil(sched_.now() + SimTime::FromMillis(5));
+  std::vector<uint8_t> traw = ReadRegs(Bmp180::kRegOutMsb, 2);
+  const int32_t ut = (traw[0] << 8) | traw[1];
+  const int32_t b5 = Bmp180ComputeB5(sensor_.calibration(), ut);
+
+  ASSERT_TRUE(WriteReg(Bmp180::kRegCtrlMeas, Bmp180::kCmdReadPressureBase).ok());
+  sched_.RunUntil(sched_.now() + SimTime::FromMillis(5));
+  std::vector<uint8_t> praw = ReadRegs(Bmp180::kRegOutMsb, 3);
+  const int32_t up =
+      static_cast<int32_t>(((praw[0] << 16) | (praw[1] << 8) | praw[2]) >> 8);  // oss=0
+
+  const double measured = Bmp180CompensatePressure(sensor_.calibration(), up, b5, 0);
+  EXPECT_NEAR(measured, env_.PressurePa(sched_.now()), 25.0);
+}
+
+TEST_F(Bmp180Test, OversamplingModesProduceConsistentPressure) {
+  ASSERT_TRUE(WriteReg(Bmp180::kRegCtrlMeas, Bmp180::kCmdReadTemperature).ok());
+  sched_.RunUntil(sched_.now() + SimTime::FromMillis(5));
+  std::vector<uint8_t> traw = ReadRegs(Bmp180::kRegOutMsb, 2);
+  const int32_t b5 = Bmp180ComputeB5(sensor_.calibration(), (traw[0] << 8) | traw[1]);
+
+  for (int oss = 0; oss <= 3; ++oss) {
+    const uint8_t cmd = static_cast<uint8_t>(Bmp180::kCmdReadPressureBase | (oss << 6));
+    ASSERT_TRUE(WriteReg(Bmp180::kRegCtrlMeas, cmd).ok());
+    sched_.RunUntil(sched_.now() + SimTime::FromMillis(30));
+    std::vector<uint8_t> praw = ReadRegs(Bmp180::kRegOutMsb, 3);
+    const int32_t up =
+        static_cast<int32_t>(((praw[0] << 16) | (praw[1] << 8) | praw[2]) >> (8 - oss));
+    const double p = Bmp180CompensatePressure(sensor_.calibration(), up, b5, oss);
+    EXPECT_NEAR(p, env_.PressurePa(sched_.now()), 30.0) << "oss=" << oss;
+  }
+}
+
+TEST_F(Bmp180Test, PrematureReadReturnsStaleDataAndCounts) {
+  ASSERT_TRUE(WriteReg(Bmp180::kRegCtrlMeas, Bmp180::kCmdReadTemperature).ok());
+  // Read immediately: conversion takes 4.5 ms, we are at +0.
+  std::vector<uint8_t> raw = ReadRegs(Bmp180::kRegOutMsb, 2);
+  EXPECT_EQ(raw, (std::vector<uint8_t>{0, 0}));  // nothing latched yet
+  EXPECT_EQ(sensor_.premature_reads(), 1u);
+}
+
+TEST_F(Bmp180Test, CtrlMeasBusyBitWhileConverting) {
+  ASSERT_TRUE(WriteReg(Bmp180::kRegCtrlMeas, Bmp180::kCmdReadTemperature).ok());
+  std::vector<uint8_t> busy = ReadRegs(Bmp180::kRegCtrlMeas, 1);
+  EXPECT_TRUE(busy[0] & 0x20);
+  sched_.RunUntil(sched_.now() + SimTime::FromMillis(5));
+  std::vector<uint8_t> idle = ReadRegs(Bmp180::kRegCtrlMeas, 1);
+  EXPECT_FALSE(idle[0] & 0x20);
+}
+
+TEST_F(Bmp180Test, InvalidCommandNacks) {
+  EXPECT_FALSE(WriteReg(Bmp180::kRegCtrlMeas, 0x00).ok());
+  EXPECT_FALSE(WriteReg(0xaa, 0x12).ok());  // calibration EEPROM is read-only
+}
+
+TEST_F(Bmp180Test, SoftResetClearsState) {
+  ASSERT_TRUE(WriteReg(Bmp180::kRegCtrlMeas, Bmp180::kCmdReadTemperature).ok());
+  sched_.RunUntil(sched_.now() + SimTime::FromMillis(5));
+  ASSERT_TRUE(WriteReg(Bmp180::kRegSoftReset, Bmp180::kCmdSoftReset).ok());
+  std::vector<uint8_t> raw = ReadRegs(Bmp180::kRegOutMsb, 2);
+  EXPECT_EQ(raw, (std::vector<uint8_t>{0, 0}));
+}
+
+// ----------------------------------------------------------------- relay ---
+
+TEST(Relay, SetAndGetOverSpi) {
+  Scheduler sched;
+  ChannelBus bus(sched);
+  Relay relay;
+  relay.AttachTo(bus);
+
+  const uint8_t set_on[] = {Relay::kCmdSet, 1};
+  Result<std::vector<uint8_t>> r1 = bus.spi().Transfer(ByteSpan(set_on, 2));
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ((*r1)[0], Relay::kReadyMarker);
+  EXPECT_EQ((*r1)[1], 1);
+  EXPECT_TRUE(relay.closed());
+
+  const uint8_t get[] = {Relay::kCmdGet, 0};
+  Result<std::vector<uint8_t>> r2 = bus.spi().Transfer(ByteSpan(get, 2));
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ((*r2)[1], 1);
+
+  const uint8_t set_off[] = {Relay::kCmdSet, 0};
+  ASSERT_TRUE(bus.spi().Transfer(ByteSpan(set_off, 2)).ok());
+  EXPECT_FALSE(relay.closed());
+  EXPECT_EQ(relay.switch_count(), 2u);
+}
+
+TEST(Relay, ObserverFiresOnChangesOnly) {
+  Scheduler sched;
+  ChannelBus bus(sched);
+  Relay relay;
+  relay.AttachTo(bus);
+  int notifications = 0;
+  relay.set_observer([&](bool) { ++notifications; });
+
+  const uint8_t set_on[] = {Relay::kCmdSet, 1};
+  ASSERT_TRUE(bus.spi().Transfer(ByteSpan(set_on, 2)).ok());
+  ASSERT_TRUE(bus.spi().Transfer(ByteSpan(set_on, 2)).ok());  // no change
+  EXPECT_EQ(notifications, 1);
+}
+
+TEST(Relay, UnknownCommandReturnsError) {
+  Scheduler sched;
+  ChannelBus bus(sched);
+  Relay relay;
+  relay.AttachTo(bus);
+  const uint8_t bad[] = {0x77, 0x01};
+  Result<std::vector<uint8_t>> r = bus.spi().Transfer(ByteSpan(bad, 2));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[1], 0xff);
+}
+
+}  // namespace
+}  // namespace micropnp

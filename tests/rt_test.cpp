@@ -1,0 +1,649 @@
+// Tests for the μPnP execution environment: event router, VM, native
+// libraries, driver manager, peripheral controller, footprint model — plus
+// end-to-end runs of every bundled driver against its simulated peripheral.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/driver_sources.h"
+#include "src/dsl/compiler.h"
+#include "src/periph/bmp180.h"
+#include "src/periph/hih4030.h"
+#include "src/periph/id20la.h"
+#include "src/periph/relay.h"
+#include "src/periph/tmp36.h"
+#include "src/rt/driver_manager.h"
+#include "src/rt/event_router.h"
+#include "src/rt/footprint.h"
+#include "src/rt/peripheral_controller.h"
+#include "src/rt/vm.h"
+
+namespace micropnp {
+namespace {
+
+// --------------------------------------------------------------- router ----
+
+TEST(EventRouter, FifoOrderForRegularEvents) {
+  EventRouter router;
+  for (int i = 0; i < 5; ++i) {
+    router.Post(0, Event::Of(kEventRead, i));
+  }
+  std::vector<int32_t> order;
+  router.ProcessAll([&](int, const Event& e) { order.push_back(e.args[0]); });
+  EXPECT_EQ(order, (std::vector<int32_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventRouter, ErrorEventsPreempt) {
+  // Section 4.2: "a regular FIFO queue for event processing and a priority
+  // queue for dispatching error messages".
+  EventRouter router;
+  router.Post(0, Event::Of(kEventRead));
+  router.Post(0, Event::Of(kErrorTimeout));  // auto-routes to priority queue
+  std::vector<EventId> order;
+  router.ProcessAll([&](int, const Event& e) { order.push_back(e.id); });
+  EXPECT_EQ(order, (std::vector<EventId>{kErrorTimeout, kEventRead}));
+}
+
+TEST(EventRouter, QueueOverflowDropsAndCounts) {
+  EventRouter router;
+  for (size_t i = 0; i < EventRouter::kQueueDepth + 3; ++i) {
+    router.Post(0, Event::Of(kEventRead));
+  }
+  EXPECT_EQ(router.pending(), EventRouter::kQueueDepth);
+  EXPECT_EQ(router.events_dropped(), 3u);
+}
+
+TEST(EventRouter, PerEventCostMatchesSection62) {
+  // 77.79 us per routed event at 16 MHz.
+  EventRouter router;
+  const int kEvents = 1000;
+  for (int batch = 0; batch < kEvents / 8; ++batch) {
+    for (int i = 0; i < 8; ++i) {
+      router.Post(0, Event::Of(kEventRead));
+    }
+    router.ProcessAll([](int, const Event&) {});
+  }
+  const double us_per_event = router.MicrosAtMcuClock() / kEvents;
+  EXPECT_NEAR(us_per_event, 77.79, 1.0);
+}
+
+TEST(EventRouter, CostScalesLinearly) {
+  EventRouter a, b;
+  auto run = [](EventRouter& r, int n) {
+    for (int i = 0; i < n; ++i) {
+      r.Post(0, Event::Of(kEventRead));
+      r.ProcessAll([](int, const Event&) {});
+    }
+  };
+  run(a, 100);
+  run(b, 1000);
+  EXPECT_NEAR(static_cast<double>(b.cycles()) / static_cast<double>(a.cycles()), 10.0, 0.01);
+}
+
+TEST(EventRouter, WakeupHookFiresOnPost) {
+  EventRouter router;
+  int wakeups = 0;
+  router.set_on_post([&] { ++wakeups; });
+  router.Post(0, Event::Of(kEventRead));
+  router.PostError(0, Event::Of(kErrorTimeout));
+  EXPECT_EQ(wakeups, 2);
+}
+
+// ------------------------------------------------------------------- vm ----
+
+// Compiles a snippet wrapped in a minimal driver and runs one handler.
+class VmFixture {
+ public:
+  explicit VmFixture(const std::string& source) {
+    Result<DriverImage> image = CompileDriver(source);
+    EXPECT_TRUE(image.ok()) << image.status().ToString();
+    if (image.ok()) {
+      vm_ = std::make_unique<Vm>(*image);
+    }
+  }
+
+  Vm::ExecResult Run(const Event& event) {
+    return vm_->Dispatch(
+        event, [this](const Event& e) { self_signals_.push_back(e); },
+        [this](LibraryId lib, LibraryFunctionId fn, std::span<const int32_t> args) {
+          lib_calls_.push_back({lib, fn, std::vector<int32_t>(args.begin(), args.end())});
+        });
+  }
+
+  struct LibCall {
+    LibraryId lib;
+    LibraryFunctionId fn;
+    std::vector<int32_t> args;
+  };
+
+  std::unique_ptr<Vm> vm_;
+  std::vector<Event> self_signals_;
+  std::vector<LibCall> lib_calls_;
+};
+
+TEST(Vm, ArithmeticAndReturn) {
+  VmFixture fx(R"(
+device 1;
+int32_t r;
+event init():
+    r = (7 * 6 - 2) / 4;
+event destroy():
+    r = 0;
+event read():
+    return r % 7;
+)");
+  ASSERT_NE(fx.vm_, nullptr);
+  EXPECT_EQ(fx.Run(Event::Of(kEventInit)).outcome, Vm::Outcome::kDone);
+  EXPECT_EQ(fx.vm_->global(0), 10);
+  Vm::ExecResult r = fx.Run(Event::Of(kEventRead));
+  EXPECT_EQ(r.outcome, Vm::Outcome::kValue);
+  EXPECT_EQ(r.value, 3);
+}
+
+TEST(Vm, TypeTruncationOnStore) {
+  VmFixture fx(R"(
+device 1;
+uint8_t u8;
+int8_t s8;
+int16_t s16;
+bool b;
+event init():
+    u8 = 260;
+    s8 = 130;
+    s16 = 70000;
+    b = 42;
+event destroy():
+    u8 = 0;
+)");
+  fx.Run(Event::Of(kEventInit));
+  EXPECT_EQ(fx.vm_->global(0), 4);       // 260 & 0xff
+  EXPECT_EQ(fx.vm_->global(1), -126);    // 130 as int8
+  EXPECT_EQ(fx.vm_->global(2), 4464);    // 70000 as int16
+  EXPECT_EQ(fx.vm_->global(3), 1);       // bool normalizes
+}
+
+TEST(Vm, ControlFlowLoops) {
+  VmFixture fx(R"(
+device 1;
+int32_t sum, i;
+event init():
+    sum = 0;
+    i = 1;
+    while i <= 10:
+        sum += i;
+        i += 1;
+event destroy():
+    sum = 0;
+event read():
+    return sum;
+)");
+  fx.Run(Event::Of(kEventInit));
+  EXPECT_EQ(fx.Run(Event::Of(kEventRead)).value, 55);
+}
+
+TEST(Vm, ShortCircuitLogic) {
+  VmFixture fx(R"(
+device 1;
+int32_t r;
+event init():
+    if 1 == 1 or 1 / 0 == 0:
+        r = 1;
+event destroy():
+    r = 0;
+)");
+  // Without short-circuit, `1/0` would trap.
+  Vm::ExecResult result = fx.Run(Event::Of(kEventInit));
+  EXPECT_EQ(result.outcome, Vm::Outcome::kDone);
+  EXPECT_EQ(fx.vm_->global(0), 1);
+}
+
+TEST(Vm, ArrayStoreLoadWithPostIncrement) {
+  VmFixture fx(R"(
+device 1;
+uint8_t idx, buf[4];
+event init():
+    idx = 0;
+    buf[idx++] = 10;
+    buf[idx++] = 20;
+event destroy():
+    idx = 0;
+event read():
+    return buf[0] + buf[1] + idx;
+)");
+  fx.Run(Event::Of(kEventInit));
+  EXPECT_EQ(fx.Run(Event::Of(kEventRead)).value, 32);
+}
+
+TEST(Vm, ReturnArrayCopiesBuffer) {
+  VmFixture fx(R"(
+device 1;
+uint8_t buf[3];
+event init():
+    buf[0] = 1;
+    buf[1] = 2;
+    buf[2] = 3;
+event destroy():
+    buf[0] = 0;
+event read():
+    return buf;
+)");
+  fx.Run(Event::Of(kEventInit));
+  Vm::ExecResult r = fx.Run(Event::Of(kEventRead));
+  EXPECT_EQ(r.outcome, Vm::Outcome::kArray);
+  EXPECT_EQ(r.array, (std::vector<uint8_t>{1, 2, 3}));
+}
+
+TEST(Vm, DivisionByZeroTraps) {
+  VmFixture fx(R"(
+device 1;
+int32_t r, zero;
+event init():
+    zero = 0;
+    r = 5 / zero;
+event destroy():
+    r = 0;
+)");
+  Vm::ExecResult result = fx.Run(Event::Of(kEventInit));
+  EXPECT_EQ(result.outcome, Vm::Outcome::kTrap);
+  EXPECT_NE(result.trap.message().find("division by zero"), std::string::npos);
+}
+
+TEST(Vm, ArrayBoundsTrap) {
+  VmFixture fx(R"(
+device 1;
+uint8_t i, buf[2];
+event init():
+    i = 9;
+    buf[i] = 1;
+event destroy():
+    i = 0;
+)");
+  EXPECT_EQ(fx.Run(Event::Of(kEventInit)).outcome, Vm::Outcome::kTrap);
+}
+
+TEST(Vm, WatchdogStopsRunawayHandler) {
+  VmFixture fx(R"(
+device 1;
+int32_t i;
+event init():
+    while true:
+        i += 1;
+event destroy():
+    i = 0;
+)");
+  Vm::ExecResult result = fx.Run(Event::Of(kEventInit));
+  EXPECT_EQ(result.outcome, Vm::Outcome::kTrap);
+  EXPECT_NE(result.trap.message().find("watchdog"), std::string::npos);
+}
+
+TEST(Vm, NoHandlerOutcome) {
+  VmFixture fx(R"(
+device 1;
+int32_t x;
+event init():
+    x = 0;
+event destroy():
+    x = 0;
+)");
+  EXPECT_EQ(fx.Run(Event::Of(kEventRead)).outcome, Vm::Outcome::kNoHandler);
+}
+
+TEST(Vm, SignalsReachSinks) {
+  VmFixture fx(R"(
+device 1;
+import adc;
+event init():
+    signal adc.init(ADC_REF_VDD, ADC_RES_10BIT);
+    signal this.helper();
+event destroy():
+    signal adc.reset();
+event helper():
+    signal adc.read();
+)");
+  fx.Run(Event::Of(kEventInit));
+  ASSERT_EQ(fx.lib_calls_.size(), 1u);
+  EXPECT_EQ(fx.lib_calls_[0].lib, kLibAdc);
+  EXPECT_EQ(fx.lib_calls_[0].fn, kAdcInit);
+  EXPECT_EQ(fx.lib_calls_[0].args, (std::vector<int32_t>{0, 10}));
+  ASSERT_EQ(fx.self_signals_.size(), 1u);
+  EXPECT_EQ(fx.self_signals_[0].id, kEventCustomBase);
+}
+
+TEST(Vm, CycleAccountingAccumulates) {
+  VmFixture fx(R"(
+device 1;
+int32_t x;
+event init():
+    x = 1 + 2;
+event destroy():
+    x = 0;
+)");
+  Vm::ExecResult r = fx.Run(Event::Of(kEventInit));
+  EXPECT_GT(r.instructions, 0u);
+  EXPECT_GT(r.cycles, r.instructions);  // every op costs > 1 cycle
+  EXPECT_EQ(fx.vm_->total_instructions(), r.instructions);
+}
+
+// ----------------------------------------------- end-to-end driver runs ----
+
+// Full runtime harness: controller + manager with all bundled drivers
+// installed; plugging a peripheral auto-activates its driver.
+class RuntimeHarness {
+ public:
+  RuntimeHarness() : rng_(42), manager_(scheduler_, router_), controller_(scheduler_, {}, rng_) {
+    for (const BundledDriver& d : BundledDrivers()) {
+      Result<DriverImage> image = CompileDriver(d.source);
+      EXPECT_TRUE(image.ok()) << d.name << ": " << image.status().ToString();
+      if (image.ok()) {
+        EXPECT_TRUE(manager_.InstallImage(*image).ok());
+      }
+    }
+    controller_.set_change_listener([this](ChannelId ch, DeviceTypeId id, bool connected) {
+      if (connected) {
+        EXPECT_TRUE(manager_.Activate(ch, id, controller_.bus(ch)).ok());
+      } else {
+        EXPECT_TRUE(manager_.Deactivate(ch).ok());
+      }
+    });
+  }
+
+  // Plugs and waits for identification + driver init.
+  void PlugAndSettle(ChannelId ch, Peripheral* p) {
+    ASSERT_TRUE(controller_.Plug(ch, p).ok());
+    scheduler_.RunUntil(scheduler_.now() + SimTime::FromMillis(400));
+    ASSERT_NE(manager_.HostForChannel(ch), nullptr) << "driver did not activate";
+  }
+
+  // Issues a remote-style read and runs the simulation until a value is
+  // produced or the deadline passes.
+  std::optional<ProducedValue> Read(ChannelId ch, double deadline_ms = 1000.0) {
+    DriverHost* host = manager_.HostForChannel(ch);
+    if (host == nullptr) {
+      return std::nullopt;
+    }
+    std::optional<ProducedValue> produced;
+    host->set_result_handler([&](const ProducedValue& v) { produced = v; });
+    router_.Post(ch, Event::Of(kEventRead));
+    const SimTime deadline = scheduler_.now() + SimTime::FromMillis(deadline_ms);
+    while (!produced.has_value() && (scheduler_.now() < deadline) && !scheduler_.empty()) {
+      scheduler_.Step();
+    }
+    return produced;
+  }
+
+  Scheduler scheduler_;
+  EventRouter router_;
+  Rng rng_;
+  Environment env_;
+  DriverManager manager_;
+  PeripheralController controller_;
+};
+
+TEST(EndToEnd, Tmp36DriverMeasuresEnvironmentTemperature) {
+  RuntimeHarness h;
+  Tmp36 sensor(h.env_);
+  h.PlugAndSettle(0, &sensor);
+  std::optional<ProducedValue> v = h.Read(0);
+  ASSERT_TRUE(v.has_value());
+  const double celsius = static_cast<double>(v->scalar) / 10.0;  // driver returns 0.1 degC
+  EXPECT_NEAR(celsius, h.env_.TemperatureC(h.scheduler_.now()), 0.5);
+}
+
+TEST(EndToEnd, Hih4030DriverMeasuresHumidity) {
+  RuntimeHarness h;
+  Hih4030 sensor(h.env_);
+  h.PlugAndSettle(0, &sensor);
+  std::optional<ProducedValue> v = h.Read(0);
+  ASSERT_TRUE(v.has_value());
+  const double rh = static_cast<double>(v->scalar) / 10.0;
+  EXPECT_NEAR(rh, h.env_.HumidityPct(h.scheduler_.now()), 1.5);
+}
+
+TEST(EndToEnd, Bmp180DriverRunsFullCompensationPipeline) {
+  RuntimeHarness h;
+  Bmp180 sensor(h.env_);
+  h.PlugAndSettle(0, &sensor);
+  std::optional<ProducedValue> v = h.Read(0);
+  ASSERT_TRUE(v.has_value());
+  // First read includes full calibration readout (11 register reads).
+  EXPECT_NEAR(static_cast<double>(v->scalar), h.env_.PressurePa(h.scheduler_.now()), 40.0);
+
+  // Second read skips calibration and still works.
+  std::optional<ProducedValue> v2 = h.Read(0);
+  ASSERT_TRUE(v2.has_value());
+  EXPECT_NEAR(static_cast<double>(v2->scalar), h.env_.PressurePa(h.scheduler_.now()), 40.0);
+}
+
+TEST(EndToEnd, Id20LaDriverAssemblesCardFrames) {
+  RuntimeHarness h;
+  Id20La reader;
+  h.PlugAndSettle(0, &reader);
+
+  DriverHost* host = h.manager_.HostForChannel(0);
+  std::optional<ProducedValue> produced;
+  host->set_result_handler([&](const ProducedValue& v) { produced = v; });
+
+  h.router_.Post(0, Event::Of(kEventRead));  // arm the reader
+  h.scheduler_.RunUntil(h.scheduler_.now() + SimTime::FromMillis(5));
+
+  RfidCard card = {0x4a, 0x00, 0xd2, 0x3f, 0x81};
+  ASSERT_TRUE(reader.PresentCard(card));
+  h.scheduler_.RunUntil(h.scheduler_.now() + SimTime::FromMillis(50));
+
+  ASSERT_TRUE(produced.has_value());
+  ASSERT_TRUE(produced->is_array);
+  const std::string payload(produced->bytes.begin(), produced->bytes.end());
+  EXPECT_EQ(payload, Id20LaPayload(card));
+  EXPECT_TRUE(ValidateId20LaPayload(payload));
+}
+
+TEST(EndToEnd, RelayDriverWritesAndReadsBack) {
+  RuntimeHarness h;
+  Relay relay;
+  h.PlugAndSettle(0, &relay);
+
+  h.router_.Post(0, Event::Of(kEventWrite, 1));
+  h.scheduler_.RunUntil(h.scheduler_.now() + SimTime::FromMillis(5));
+  EXPECT_TRUE(relay.closed());
+
+  std::optional<ProducedValue> v = h.Read(0);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->scalar, 1);
+
+  h.router_.Post(0, Event::Of(kEventWrite, 0));
+  h.scheduler_.RunUntil(h.scheduler_.now() + SimTime::FromMillis(5));
+  EXPECT_FALSE(relay.closed());
+  EXPECT_EQ(relay.switch_count(), 2u);
+}
+
+TEST(EndToEnd, UnplugFiresDestroyAndReleasesUart) {
+  RuntimeHarness h;
+  Id20La reader;
+  h.PlugAndSettle(0, &reader);
+  EXPECT_TRUE(h.controller_.bus(0).uart().initialized());  // driver claimed it
+
+  ASSERT_TRUE(h.controller_.Unplug(0).ok());
+  h.scheduler_.RunUntil(h.scheduler_.now() + SimTime::FromMillis(400));
+  EXPECT_EQ(h.manager_.HostForChannel(0), nullptr);
+  EXPECT_FALSE(h.controller_.bus(0).uart().initialized());  // destroy released it
+}
+
+TEST(EndToEnd, HotSwapBetweenPeripheralTypes) {
+  RuntimeHarness h;
+  Tmp36 temp(h.env_);
+  h.PlugAndSettle(0, &temp);
+  EXPECT_EQ(h.manager_.HostForChannel(0)->device_id(), kTmp36TypeId);
+
+  ASSERT_TRUE(h.controller_.Unplug(0).ok());
+  h.scheduler_.RunUntil(h.scheduler_.now() + SimTime::FromMillis(400));
+
+  Bmp180 pressure(h.env_);
+  h.PlugAndSettle(0, &pressure);
+  EXPECT_EQ(h.manager_.HostForChannel(0)->device_id(), kBmp180TypeId);
+  std::optional<ProducedValue> v = h.Read(0);
+  ASSERT_TRUE(v.has_value());
+}
+
+TEST(EndToEnd, ThreePeripheralsConcurrently) {
+  RuntimeHarness h;
+  Tmp36 temp(h.env_);
+  Hih4030 humidity(h.env_);
+  Relay relay;
+  ASSERT_TRUE(h.controller_.Plug(0, &temp).ok());
+  ASSERT_TRUE(h.controller_.Plug(1, &humidity).ok());
+  ASSERT_TRUE(h.controller_.Plug(2, &relay).ok());
+  h.scheduler_.RunUntil(h.scheduler_.now() + SimTime::FromMillis(800));
+  EXPECT_EQ(h.manager_.active_hosts(), 3u);
+  EXPECT_TRUE(h.Read(0).has_value());
+  EXPECT_TRUE(h.Read(1).has_value());
+  EXPECT_TRUE(h.Read(2).has_value());
+}
+
+TEST(EndToEnd, UartInUseErrorReachesSecondDriver) {
+  // Two UART drivers on the same channel bus cannot coexist; the second
+  // init must raise uartInUse (Listing 1's error path).  We simulate by
+  // claiming the port before the driver initializes.
+  RuntimeHarness h;
+  Id20La reader;
+  ASSERT_TRUE(h.controller_.Plug(0, &reader).ok());
+  ASSERT_TRUE(h.controller_.bus(0).uart().Init(UartConfig{}).ok());  // usurp the port
+  h.scheduler_.RunUntil(h.scheduler_.now() + SimTime::FromMillis(400));
+  // Driver activated but its init hit uartInUse -> driver signalled destroy.
+  DriverHost* host = h.manager_.HostForChannel(0);
+  ASSERT_NE(host, nullptr);
+  EXPECT_GE(host->events_handled(), 2u);  // init + uartInUse at minimum
+}
+
+// ------------------------------------------------------- driver manager ----
+
+TEST(DriverManager, InstallRemoveDiscover) {
+  Scheduler sched;
+  EventRouter router;
+  DriverManager manager(sched, router);
+  Result<DriverImage> image = CompileDriver(BundledDrivers()[0].source);
+  ASSERT_TRUE(image.ok());
+
+  EXPECT_FALSE(manager.HasDriverFor(image->device_id));
+  ASSERT_TRUE(manager.InstallImage(*image).ok());
+  EXPECT_TRUE(manager.HasDriverFor(image->device_id));
+  EXPECT_EQ(manager.InstalledDrivers().size(), 1u);
+  ASSERT_TRUE(manager.RemoveImage(image->device_id).ok());
+  EXPECT_EQ(manager.RemoveImage(image->device_id).code(), StatusCode::kNotFound);
+}
+
+TEST(DriverManager, RejectsReservedDeviceIds) {
+  Scheduler sched;
+  EventRouter router;
+  DriverManager manager(sched, router);
+  DriverImage image;
+  image.device_id = kDeviceTypeAllPeripherals;
+  EXPECT_FALSE(manager.InstallImage(image).ok());
+  image.device_id = kDeviceTypeAllClients;
+  EXPECT_FALSE(manager.InstallImage(image).ok());
+}
+
+TEST(DriverManager, CannotRemoveImageInUse) {
+  Scheduler sched;
+  EventRouter router;
+  DriverManager manager(sched, router);
+  ChannelBus bus(sched);
+  Result<DriverImage> image = CompileDriver(BundledDrivers()[0].source);
+  ASSERT_TRUE(image.ok());
+  ASSERT_TRUE(manager.InstallImage(*image).ok());
+  ASSERT_TRUE(manager.Activate(0, image->device_id, bus).ok());
+  EXPECT_EQ(manager.RemoveImage(image->device_id).code(), StatusCode::kBusy);
+  ASSERT_TRUE(manager.Deactivate(0).ok());
+  EXPECT_TRUE(manager.RemoveImage(image->device_id).ok());
+}
+
+TEST(DriverManager, ActivateWithoutImageFails) {
+  Scheduler sched;
+  EventRouter router;
+  DriverManager manager(sched, router);
+  ChannelBus bus(sched);
+  EXPECT_EQ(manager.Activate(0, 0xdeadbeef, bus).code(), StatusCode::kNotFound);
+}
+
+// -------------------------------------------------- peripheral controller --
+
+TEST(PeripheralController, ScanTakesIdentificationTime) {
+  Scheduler sched;
+  Rng rng(7);
+  PeripheralController controller(sched, ControlBoardConfig{}, rng);
+  Environment env;
+  Tmp36 sensor(env);
+
+  bool connected = false;
+  double connect_time_ms = 0;
+  controller.set_change_listener([&](ChannelId, DeviceTypeId id, bool is_connected) {
+    connected = is_connected;
+    connect_time_ms = sched.now().millis();
+    EXPECT_EQ(id, kTmp36TypeId);
+  });
+  ASSERT_TRUE(controller.Plug(0, &sensor).ok());
+  sched.Run();
+  EXPECT_TRUE(connected);
+  // Section 6.1: identification takes 220..300 ms.
+  EXPECT_GE(connect_time_ms, 220.0);
+  EXPECT_LE(connect_time_ms, 300.0);
+}
+
+TEST(PeripheralController, MuxesBusAfterIdentification) {
+  Scheduler sched;
+  Rng rng(8);
+  PeripheralController controller(sched, ControlBoardConfig{}, rng);
+  Id20La reader;
+  ASSERT_TRUE(controller.Plug(1, &reader).ok());
+  EXPECT_EQ(controller.bus(1).selected(), std::nullopt);  // not yet identified
+  sched.Run();
+  EXPECT_TRUE(controller.bus(1).IsSelected(BusKind::kUart));
+  EXPECT_EQ(controller.identified(1), kId20LaTypeId);
+}
+
+TEST(PeripheralController, UnplugNotifiesDisconnect) {
+  Scheduler sched;
+  Rng rng(9);
+  PeripheralController controller(sched, ControlBoardConfig{}, rng);
+  Environment env;
+  Tmp36 sensor(env);
+  std::vector<bool> notifications;
+  controller.set_change_listener(
+      [&](ChannelId, DeviceTypeId, bool is_connected) { notifications.push_back(is_connected); });
+  ASSERT_TRUE(controller.Plug(0, &sensor).ok());
+  sched.Run();
+  ASSERT_TRUE(controller.Unplug(0).ok());
+  sched.Run();
+  EXPECT_EQ(notifications, (std::vector<bool>{true, false}));
+  EXPECT_EQ(controller.identified(0), std::nullopt);
+}
+
+// ------------------------------------------------------------ footprint ----
+
+TEST(Footprint, MatchesTable2Structure) {
+  std::vector<FootprintEntry> rows = EmbeddedFootprint();
+  ASSERT_EQ(rows.size(), 6u);
+  EXPECT_EQ(rows[0].component, "Peripheral Controller");
+  EXPECT_EQ(rows[1].component, "uPnP Virtual Machine");
+
+  FootprintEntry total = EmbeddedFootprintTotal();
+  // Paper totals: 14231 B flash (10.8 %), 1518 B RAM (9.2 %).  The model is
+  // calibrated, so require agreement within 10 %.
+  EXPECT_NEAR(static_cast<double>(total.flash_bytes), 14231.0, 1423.0);
+  EXPECT_NEAR(static_cast<double>(total.ram_bytes), 1518.0, 152.0);
+  EXPECT_LT(total.flash_pct(), 12.0);
+  EXPECT_LT(total.ram_pct(), 11.0);
+}
+
+TEST(Footprint, VmRowTracksRealDimensions) {
+  // The VM row derives from the real opcode count and stack depth; moving
+  // either must move the row.  (Guard against the model drifting from the
+  // implementation.)
+  std::vector<FootprintEntry> rows = EmbeddedFootprint();
+  const FootprintEntry& vm = rows[1];
+  EXPECT_EQ(vm.flash_bytes, 40u * 160u + 628u);
+  EXPECT_GE(vm.ram_bytes, kVmStackDepth * 4);
+}
+
+}  // namespace
+}  // namespace micropnp
