@@ -8,6 +8,8 @@
 #ifndef SRC_BASELINE_NATIVE_BMP180_H_
 #define SRC_BASELINE_NATIVE_BMP180_H_
 
+#include <cstdint>
+
 #include "src/bus/channel_bus.h"
 #include "src/common/status.h"
 #include "src/sim/scheduler.h"

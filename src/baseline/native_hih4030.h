@@ -7,6 +7,8 @@
 #ifndef SRC_BASELINE_NATIVE_HIH4030_H_
 #define SRC_BASELINE_NATIVE_HIH4030_H_
 
+#include <cstdint>
+
 #include "src/bus/channel_bus.h"
 #include "src/common/status.h"
 

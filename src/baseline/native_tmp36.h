@@ -9,6 +9,8 @@
 #ifndef SRC_BASELINE_NATIVE_TMP36_H_
 #define SRC_BASELINE_NATIVE_TMP36_H_
 
+#include <cstdint>
+
 #include "src/bus/channel_bus.h"
 #include "src/common/status.h"
 

@@ -7,6 +7,7 @@
 #define SRC_COMMON_STATUS_H_
 
 #include <cassert>
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <variant>

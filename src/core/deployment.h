@@ -9,6 +9,7 @@
 #ifndef SRC_CORE_DEPLOYMENT_H_
 #define SRC_CORE_DEPLOYMENT_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>

@@ -19,6 +19,7 @@
 #define SRC_HW_CONTROL_BOARD_H_
 
 #include <array>
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <vector>

@@ -14,6 +14,7 @@
 #define SRC_HW_ID_CODEC_H_
 
 #include <array>
+#include <cstdint>
 #include <optional>
 
 #include "src/common/rng.h"

@@ -21,6 +21,7 @@
 #ifndef SRC_NET_FABRIC_H_
 #define SRC_NET_FABRIC_H_
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>

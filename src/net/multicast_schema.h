@@ -10,6 +10,7 @@
 #ifndef SRC_NET_MULTICAST_SCHEMA_H_
 #define SRC_NET_MULTICAST_SCHEMA_H_
 
+#include <cstdint>
 #include <optional>
 
 #include "src/common/types.h"

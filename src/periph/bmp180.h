@@ -12,6 +12,7 @@
 #define SRC_PERIPH_BMP180_H_
 
 #include <array>
+#include <cstdint>
 
 #include "src/bus/i2c.h"
 #include "src/periph/bmp180_math.h"

@@ -10,6 +10,7 @@
 #ifndef SRC_PERIPH_RELAY_H_
 #define SRC_PERIPH_RELAY_H_
 
+#include <cstdint>
 #include <functional>
 
 #include "src/bus/spi.h"

@@ -10,6 +10,7 @@
 #ifndef SRC_PROTO_CLIENT_H_
 #define SRC_PROTO_CLIENT_H_
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <vector>

@@ -9,6 +9,7 @@
 #ifndef SRC_PROTO_MANAGER_H_
 #define SRC_PROTO_MANAGER_H_
 
+#include <cstdint>
 #include <functional>
 #include <map>
 

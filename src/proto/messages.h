@@ -10,6 +10,7 @@
 #ifndef SRC_PROTO_MESSAGES_H_
 #define SRC_PROTO_MESSAGES_H_
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 

@@ -16,6 +16,7 @@
 #ifndef SRC_PROTO_THING_H_
 #define SRC_PROTO_THING_H_
 
+#include <cstdint>
 #include <deque>
 #include <map>
 

@@ -10,6 +10,7 @@
 #define SRC_RT_DRIVER_HOST_H_
 
 #include <array>
+#include <cstdint>
 #include <functional>
 #include <memory>
 

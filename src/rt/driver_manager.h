@@ -12,6 +12,7 @@
 #ifndef SRC_RT_DRIVER_MANAGER_H_
 #define SRC_RT_DRIVER_MANAGER_H_
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <vector>

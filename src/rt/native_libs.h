@@ -13,6 +13,7 @@
 #ifndef SRC_RT_NATIVE_LIBS_H_
 #define SRC_RT_NATIVE_LIBS_H_
 
+#include <cstdint>
 #include <memory>
 #include <span>
 

@@ -15,6 +15,7 @@
 #ifndef SRC_RT_PERIPHERAL_CONTROLLER_H_
 #define SRC_RT_PERIPHERAL_CONTROLLER_H_
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
