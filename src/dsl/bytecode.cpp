@@ -1,5 +1,6 @@
 #include "src/dsl/bytecode.h"
 
+#include <array>
 #include <cstdio>
 
 namespace micropnp {
@@ -12,63 +13,75 @@ constexpr uint32_t kPushCost = 178;  // 11.125 us @ 16 MHz
 constexpr uint32_t kPopCost = 142;   // 8.875 us @ 16 MHz
 constexpr uint32_t kOperandByte = 12;
 
+// Stack effect sentinel: the signal ops pop a per-site argument count.
+constexpr int kVariablePops = -1;
+
 struct OpInfo {
   Op op;
   const char* name;
   int operand_bytes;
   uint32_t cycles;
+  int pops;
+  int pushes;
 };
 
 constexpr OpInfo kOps[] = {
-    {Op::kNop, "nop", 0, kDispatch},
-    {Op::kPush0, "push.0", 0, kDispatch + kPushCost},
-    {Op::kPush1, "push.1", 0, kDispatch + kPushCost},
-    {Op::kPushI8, "push.i8", 1, kDispatch + kOperandByte + kPushCost},
-    {Op::kPushI16, "push.i16", 2, kDispatch + 2 * kOperandByte + kPushCost},
-    {Op::kPushI32, "push.i32", 4, kDispatch + 4 * kOperandByte + kPushCost},
-    {Op::kDup, "dup", 0, kDispatch + kPushCost + 60},
-    {Op::kPop, "pop", 0, kDispatch + kPopCost},
-    {Op::kLoadG, "load.g", 1, kDispatch + kOperandByte + 60 + kPushCost},
-    {Op::kStoreG, "store.g", 1, kDispatch + kOperandByte + kPopCost + 100},
-    {Op::kLoadL, "load.l", 1, kDispatch + kOperandByte + 40 + kPushCost},
-    {Op::kLoadA, "load.a", 1, kDispatch + kOperandByte + kPopCost + 70 + kPushCost},
-    {Op::kStoreA, "store.a", 1, kDispatch + kOperandByte + 2 * kPopCost + 70},
-    {Op::kAdd, "add", 0, kDispatch + 2 * kPopCost + 60 + kPushCost},
-    {Op::kSub, "sub", 0, kDispatch + 2 * kPopCost + 60 + kPushCost},
-    {Op::kMul, "mul", 0, kDispatch + 2 * kPopCost + 700 + kPushCost},
-    {Op::kDiv, "div", 0, kDispatch + 2 * kPopCost + 1250 + kPushCost},
-    {Op::kMod, "mod", 0, kDispatch + 2 * kPopCost + 1250 + kPushCost},
-    {Op::kNeg, "neg", 0, kDispatch + kPopCost + 50 + kPushCost},
-    {Op::kShl, "shl", 0, kDispatch + 2 * kPopCost + 150 + kPushCost},
-    {Op::kShr, "shr", 0, kDispatch + 2 * kPopCost + 150 + kPushCost},
-    {Op::kBitAnd, "and", 0, kDispatch + 2 * kPopCost + 60 + kPushCost},
-    {Op::kBitOr, "or", 0, kDispatch + 2 * kPopCost + 60 + kPushCost},
-    {Op::kBitXor, "xor", 0, kDispatch + 2 * kPopCost + 60 + kPushCost},
-    {Op::kBitNot, "not", 0, kDispatch + kPopCost + 50 + kPushCost},
-    {Op::kLogicalNot, "lnot", 0, kDispatch + kPopCost + 50 + kPushCost},
-    {Op::kEq, "eq", 0, kDispatch + 2 * kPopCost + 70 + kPushCost},
-    {Op::kNe, "ne", 0, kDispatch + 2 * kPopCost + 70 + kPushCost},
-    {Op::kLt, "lt", 0, kDispatch + 2 * kPopCost + 70 + kPushCost},
-    {Op::kLe, "le", 0, kDispatch + 2 * kPopCost + 70 + kPushCost},
-    {Op::kGt, "gt", 0, kDispatch + 2 * kPopCost + 70 + kPushCost},
-    {Op::kGe, "ge", 0, kDispatch + 2 * kPopCost + 70 + kPushCost},
-    {Op::kJmp, "jmp", 2, kDispatch + 2 * kOperandByte + 40},
-    {Op::kJz, "jz", 2, kDispatch + 2 * kOperandByte + kPopCost + 50},
-    {Op::kJnz, "jnz", 2, kDispatch + 2 * kOperandByte + kPopCost + 50},
-    {Op::kSignalSelf, "signal.self", 1, kDispatch + kOperandByte + 800},
-    {Op::kSignalLib, "signal.lib", 2, kDispatch + 2 * kOperandByte + 700},
-    {Op::kRet, "ret", 0, kDispatch + 30},
-    {Op::kRetVal, "ret.val", 0, kDispatch + kPopCost + 200},
-    {Op::kRetArr, "ret.arr", 1, kDispatch + kOperandByte + 500},
+    {Op::kNop, "nop", 0, kDispatch, 0, 0},
+    {Op::kPush0, "push.0", 0, kDispatch + kPushCost, 0, 1},
+    {Op::kPush1, "push.1", 0, kDispatch + kPushCost, 0, 1},
+    {Op::kPushI8, "push.i8", 1, kDispatch + kOperandByte + kPushCost, 0, 1},
+    {Op::kPushI16, "push.i16", 2, kDispatch + 2 * kOperandByte + kPushCost, 0, 1},
+    {Op::kPushI32, "push.i32", 4, kDispatch + 4 * kOperandByte + kPushCost, 0, 1},
+    {Op::kDup, "dup", 0, kDispatch + kPushCost + 60, 1, 2},
+    {Op::kPop, "pop", 0, kDispatch + kPopCost, 1, 0},
+    {Op::kLoadG, "load.g", 1, kDispatch + kOperandByte + 60 + kPushCost, 0, 1},
+    {Op::kStoreG, "store.g", 1, kDispatch + kOperandByte + kPopCost + 100, 1, 0},
+    {Op::kLoadL, "load.l", 1, kDispatch + kOperandByte + 40 + kPushCost, 0, 1},
+    {Op::kLoadA, "load.a", 1, kDispatch + kOperandByte + kPopCost + 70 + kPushCost, 1, 1},
+    {Op::kStoreA, "store.a", 1, kDispatch + kOperandByte + 2 * kPopCost + 70, 2, 0},
+    {Op::kAdd, "add", 0, kDispatch + 2 * kPopCost + 60 + kPushCost, 2, 1},
+    {Op::kSub, "sub", 0, kDispatch + 2 * kPopCost + 60 + kPushCost, 2, 1},
+    {Op::kMul, "mul", 0, kDispatch + 2 * kPopCost + 700 + kPushCost, 2, 1},
+    {Op::kDiv, "div", 0, kDispatch + 2 * kPopCost + 1250 + kPushCost, 2, 1},
+    {Op::kMod, "mod", 0, kDispatch + 2 * kPopCost + 1250 + kPushCost, 2, 1},
+    {Op::kNeg, "neg", 0, kDispatch + kPopCost + 50 + kPushCost, 1, 1},
+    {Op::kShl, "shl", 0, kDispatch + 2 * kPopCost + 150 + kPushCost, 2, 1},
+    {Op::kShr, "shr", 0, kDispatch + 2 * kPopCost + 150 + kPushCost, 2, 1},
+    {Op::kBitAnd, "and", 0, kDispatch + 2 * kPopCost + 60 + kPushCost, 2, 1},
+    {Op::kBitOr, "or", 0, kDispatch + 2 * kPopCost + 60 + kPushCost, 2, 1},
+    {Op::kBitXor, "xor", 0, kDispatch + 2 * kPopCost + 60 + kPushCost, 2, 1},
+    {Op::kBitNot, "not", 0, kDispatch + kPopCost + 50 + kPushCost, 1, 1},
+    {Op::kLogicalNot, "lnot", 0, kDispatch + kPopCost + 50 + kPushCost, 1, 1},
+    {Op::kEq, "eq", 0, kDispatch + 2 * kPopCost + 70 + kPushCost, 2, 1},
+    {Op::kNe, "ne", 0, kDispatch + 2 * kPopCost + 70 + kPushCost, 2, 1},
+    {Op::kLt, "lt", 0, kDispatch + 2 * kPopCost + 70 + kPushCost, 2, 1},
+    {Op::kLe, "le", 0, kDispatch + 2 * kPopCost + 70 + kPushCost, 2, 1},
+    {Op::kGt, "gt", 0, kDispatch + 2 * kPopCost + 70 + kPushCost, 2, 1},
+    {Op::kGe, "ge", 0, kDispatch + 2 * kPopCost + 70 + kPushCost, 2, 1},
+    {Op::kJmp, "jmp", 2, kDispatch + 2 * kOperandByte + 40, 0, 0},
+    {Op::kJz, "jz", 2, kDispatch + 2 * kOperandByte + kPopCost + 50, 1, 0},
+    {Op::kJnz, "jnz", 2, kDispatch + 2 * kOperandByte + kPopCost + 50, 1, 0},
+    {Op::kSignalSelf, "signal.self", 1, kDispatch + kOperandByte + 800, kVariablePops, 0},
+    {Op::kSignalLib, "signal.lib", 2, kDispatch + 2 * kOperandByte + 700, kVariablePops, 0},
+    {Op::kRet, "ret", 0, kDispatch + 30, 0, 0},
+    {Op::kRetVal, "ret.val", 0, kDispatch + kPopCost + 200, 1, 0},
+    {Op::kRetArr, "ret.arr", 1, kDispatch + kOperandByte + 500, 0, 0},
+};
+
+// Dense byte-indexed lookup: opcode dispatch metadata in O(1) instead of a
+// linear scan over the ISA.
+struct OpLut {
+  std::array<const OpInfo*, 256> slots{};
+  OpLut() {
+    for (const OpInfo& info : kOps) {
+      slots[static_cast<uint8_t>(info.op)] = &info;
+    }
+  }
 };
 
 const OpInfo* FindOp(Op op) {
-  for (const OpInfo& info : kOps) {
-    if (info.op == op) {
-      return &info;
-    }
-  }
-  return nullptr;
+  static const OpLut lut;
+  return lut.slots[static_cast<uint8_t>(op)];
 }
 
 }  // namespace
@@ -76,6 +89,18 @@ const OpInfo* FindOp(Op op) {
 int OpOperandBytes(Op op) {
   const OpInfo* info = FindOp(op);
   return info != nullptr ? info->operand_bytes : -1;
+}
+
+bool OpStackEffect(Op op, int* pops, int* pushes) {
+  const OpInfo* info = FindOp(op);
+  if (info == nullptr || info->pops == kVariablePops) {
+    *pops = 0;
+    *pushes = info != nullptr ? info->pushes : 0;
+    return false;
+  }
+  *pops = info->pops;
+  *pushes = info->pushes;
+  return true;
 }
 
 const char* OpName(Op op) {

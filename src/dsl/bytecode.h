@@ -76,6 +76,13 @@ enum class Op : uint8_t {
 // Number of operand bytes following an opcode; -1 for unknown opcodes.
 int OpOperandBytes(Op op);
 
+// Static operand-stack effect: slots popped and pushed by one execution of
+// `op`.  Returns false for the signal ops, whose pop count is per-site (the
+// target handler's / native function's argument count); callers resolve
+// those from the handler and library tables.  kDup is modeled as pop 1 /
+// push 2 (it requires one slot on entry).
+bool OpStackEffect(Op op, int* pops, int* pushes);
+
 // Mnemonic for the disassembler.
 const char* OpName(Op op);
 

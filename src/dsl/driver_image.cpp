@@ -44,6 +44,11 @@ std::vector<uint8_t> DriverImage::Serialize() const {
   return w.Take();
 }
 
+uint32_t DriverImage::ImageCrc() const {
+  const std::vector<uint8_t> bytes = Serialize();
+  return Crc32(ByteSpan(bytes.data(), bytes.size()));
+}
+
 size_t DriverImage::SerializedSize() const {
   return 3 + 4 + 1 + imports.size() + 1 + scalar_types.size() + 1 + array_sizes.size() + 1 +
          handlers.size() * 4 + 2 + code.size() + 2;

@@ -58,6 +58,11 @@ struct DriverImage {
   std::vector<uint8_t> Serialize() const;
   static Result<DriverImage> Parse(ByteSpan bytes);
 
+  // CRC-32 of the serialized image.  Identifies a byte-identical image
+  // (device id, declarations, handlers and code); the runtime's decode cache
+  // keys on this so re-plugging the same device type skips verify+decode.
+  uint32_t ImageCrc() const;
+
   // Total over-the-air size (what Table 4's "Install 80 Byte Driver" counts).
   size_t SerializedSize() const;
   // Pure bytecode size (what Table 3's "Bytes" column is closest to).

@@ -1,5 +1,7 @@
 #include "src/rt/driver_manager.h"
 
+#include <iterator>
+
 namespace micropnp {
 
 DriverManager::DriverManager(Scheduler& scheduler, EventRouter& router)
@@ -11,7 +13,37 @@ Status DriverManager::InstallImage(const DriverImage& image) {
   if (image.device_id == kDeviceTypeAllPeripherals || image.device_id == kDeviceTypeAllClients) {
     return InvalidArgument("reserved device type id");
   }
-  images_[image.device_id] = image;
+  const uint32_t crc = image.ImageCrc();
+  std::shared_ptr<const DecodedImage> decoded;
+  auto cached = decode_cache_.find(crc);
+  if (cached != decode_cache_.end() && cached->second->image() == image) {
+    // Byte-equality confirmed: a CRC collision must not let a different
+    // image reuse (and thereby skip verification of) this entry.
+    decoded = cached->second;
+    ++decode_cache_hits_;
+  } else {
+    Result<std::shared_ptr<const DecodedImage>> result = DecodedImage::DecodeShared(image, crc);
+    if (!result.ok()) {
+      return result.status();
+    }
+    decoded = *result;
+    if (cached != decode_cache_.end()) {
+      // CRC collision with different bytes: the newer image takes the slot.
+      cached->second = decoded;
+    } else {
+      if (decode_cache_.size() >= kDecodeCacheCapacity) {
+        // Evict entries nothing references anymore (use_count 1 == only the
+        // cache holds them) so repeated driver-version churn stays bounded.
+        for (auto it = decode_cache_.begin(); it != decode_cache_.end();) {
+          it = it->second.use_count() == 1 ? decode_cache_.erase(it) : std::next(it);
+        }
+      }
+      if (decode_cache_.size() < kDecodeCacheCapacity) {
+        decode_cache_[crc] = decoded;
+      }
+    }
+  }
+  images_[image.device_id] = std::move(decoded);
   ++installs_;
   return OkStatus();
 }
@@ -26,6 +58,8 @@ Status DriverManager::RemoveImage(DeviceTypeId device_id) {
       return BusyError("driver in use on channel " + std::to_string(channel));
     }
   }
+  // The decode cache intentionally keeps the entry: a re-deploy of the same
+  // bytes after a remove skips verify+decode.
   images_.erase(it);
   return OkStatus();
 }
@@ -36,27 +70,32 @@ bool DriverManager::HasDriverFor(DeviceTypeId device_id) const {
 
 const DriverImage* DriverManager::ImageFor(DeviceTypeId device_id) const {
   auto it = images_.find(device_id);
-  return it == images_.end() ? nullptr : &it->second;
+  return it == images_.end() ? nullptr : &it->second->image();
+}
+
+std::shared_ptr<const DecodedImage> DriverManager::DecodedFor(DeviceTypeId device_id) const {
+  auto it = images_.find(device_id);
+  return it == images_.end() ? nullptr : it->second;
 }
 
 std::vector<DeviceTypeId> DriverManager::InstalledDrivers() const {
   std::vector<DeviceTypeId> ids;
   ids.reserve(images_.size());
-  for (const auto& [id, image] : images_) {
+  for (const auto& [id, decoded] : images_) {
     ids.push_back(id);
   }
   return ids;
 }
 
 Status DriverManager::Activate(ChannelId channel, DeviceTypeId device_id, ChannelBus& bus) {
-  const DriverImage* image = ImageFor(device_id);
-  if (image == nullptr) {
+  std::shared_ptr<const DecodedImage> decoded = DecodedFor(device_id);
+  if (decoded == nullptr) {
     return NotFound("no driver for " + FormatDeviceTypeId(device_id));
   }
   if (hosts_.count(channel) != 0) {
     return AlreadyExists("channel already has an active driver");
   }
-  auto host = std::make_unique<DriverHost>(*image, channel, scheduler_, bus, router_);
+  auto host = std::make_unique<DriverHost>(std::move(decoded), channel, scheduler_, bus, router_);
   hosts_[channel] = std::move(host);
   router_.Post(channel, Event::Of(kEventInit));
   SchedulePump();
@@ -93,8 +132,12 @@ DriverHost* DriverManager::HostForDevice(DeviceTypeId device_id) {
 
 size_t DriverManager::DispatchPending() {
   pump_scheduled_ = false;
+  // Bound this pump to the work pending at entry: a driver whose handler
+  // posts a new event on every dispatch gets its new events in the *next*
+  // pump instead of livelocking this one.
+  const size_t budget = router_.pending();
   size_t dispatched = 0;
-  while (true) {
+  while (dispatched < budget) {
     const bool progressed = router_.DispatchOne([this](int slot, const Event& event) {
       DriverHost* host = HostForChannel(static_cast<ChannelId>(slot));
       if (host != nullptr) {
@@ -105,6 +148,9 @@ size_t DriverManager::DispatchPending() {
       break;
     }
     ++dispatched;
+  }
+  if (!router_.idle()) {
+    SchedulePump();
   }
   return dispatched;
 }

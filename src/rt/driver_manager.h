@@ -8,6 +8,13 @@
 // Images are stored by device type id (DEPLOY/REMOVE/DISCOVER of Figure 8's
 // manager API); activation binds an image to a channel as a DriverHost and
 // fires init/destroy lifecycle events (Section 4.1).
+//
+// Installation runs the load-time verifier (src/rt/decoded_image.h): a
+// malformed image is rejected with a Status at DEPLOY time — over the air or
+// local — never discovered mid-handler.  Decoded images are cached keyed by
+// image CRC, so re-plugging the same device type (or re-installing an
+// identical image) skips verify+decode entirely and every concurrent host
+// for one device type shares a single decoded stream.
 
 #ifndef SRC_RT_DRIVER_MANAGER_H_
 #define SRC_RT_DRIVER_MANAGER_H_
@@ -17,19 +24,28 @@
 #include <memory>
 #include <vector>
 
+#include "src/rt/decoded_image.h"
 #include "src/rt/driver_host.h"
 
 namespace micropnp {
 
 class DriverManager {
  public:
+  // Decode-cache bound: entries no longer referenced by an installed image
+  // are evicted once the cache is full, so driver-version churn on a
+  // long-lived node cannot grow memory without bound.
+  static constexpr size_t kDecodeCacheCapacity = 32;
+
   DriverManager(Scheduler& scheduler, EventRouter& router);
 
   // ---- driver image store (remote DEPLOY/REMOVE/DISCOVER) -----------------
+  // Verifies + decodes the image; statically invalid images are rejected
+  // here with the verifier's Status.
   Status InstallImage(const DriverImage& image);
   Status RemoveImage(DeviceTypeId device_id);  // fails while a host uses it
   bool HasDriverFor(DeviceTypeId device_id) const;
   const DriverImage* ImageFor(DeviceTypeId device_id) const;
+  std::shared_ptr<const DecodedImage> DecodedFor(DeviceTypeId device_id) const;
   std::vector<DeviceTypeId> InstalledDrivers() const;
 
   // ---- activation ----------------------------------------------------------
@@ -41,24 +57,36 @@ class DriverManager {
   DriverHost* HostForDevice(DeviceTypeId device_id);
   size_t active_hosts() const { return hosts_.size(); }
 
-  // Drains the event router into the active hosts.  Wired to the scheduler:
-  // any Post schedules a pump, so running the scheduler processes events.
+  // Drains the event router into the active hosts, each pump bounded to the
+  // number of events pending at entry (newly posted errors may still
+  // preempt within that budget); a still-busy router reschedules itself on
+  // the scheduler so event storms cannot livelock a pump.  Wired to the
+  // scheduler: any Post schedules a pump, so running the scheduler processes
+  // events.
   size_t DispatchPending();
 
   EventRouter& router() { return router_; }
 
   // Over-the-air installs handled (Table 4's driver installation step).
   uint64_t installs() const { return installs_; }
+  // Installs that reused a cached decoded image (verify+decode skipped).
+  uint64_t decode_cache_hits() const { return decode_cache_hits_; }
 
  private:
   void SchedulePump();
 
   Scheduler& scheduler_;
   EventRouter& router_;
-  std::map<DeviceTypeId, DriverImage> images_;
+  std::map<DeviceTypeId, std::shared_ptr<const DecodedImage>> images_;
+  // Verified+decoded images by image CRC (hits also byte-compare, so a CRC
+  // collision cannot bypass verification).  Survives RemoveImage so a
+  // remove/re-deploy cycle of the same bytes is free; bounded by
+  // kDecodeCacheCapacity with unused entries evicted first.
+  std::map<uint32_t, std::shared_ptr<const DecodedImage>> decode_cache_;
   std::map<ChannelId, std::unique_ptr<DriverHost>> hosts_;
   bool pump_scheduled_ = false;
   uint64_t installs_ = 0;
+  uint64_t decode_cache_hits_ = 0;
 };
 
 }  // namespace micropnp

@@ -49,8 +49,9 @@ bool EventRouter::DispatchOne(const Sink& sink) {
 }
 
 size_t EventRouter::ProcessAll(const Sink& sink) {
+  const size_t budget = pending();
   size_t count = 0;
-  while (DispatchOne(sink)) {
+  while (count < budget && DispatchOne(sink)) {
     ++count;
   }
   return count;

@@ -45,8 +45,11 @@ class EventRouter {
   // first, then FIFO.  Returns false when idle.
   bool DispatchOne(const Sink& sink);
 
-  // Drains both queues (events posted during dispatch are processed too).
-  // Returns the number of events dispatched.
+  // Drains at most as many events as were pending at entry, so a handler
+  // that re-posts on every dispatch cannot livelock the caller; leftover and
+  // newly posted work waits for the next drain.  (Error events posted during
+  // the drain still preempt within that budget — each one then displaces one
+  // entry that was pending at entry.)  Returns the number dispatched.
   size_t ProcessAll(const Sink& sink);
 
   bool idle() const { return regular_.empty() && errors_.empty(); }

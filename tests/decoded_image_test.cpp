@@ -1,0 +1,244 @@
+// Tests for the load-time verifier / pre-decoder (src/rt/decoded_image.h):
+// every statically detectable fault is rejected at Decode time with a
+// Status, hand-built image by hand-built image; faults that depend on
+// runtime state (division by zero, dynamic array subscripts, the watchdog)
+// still trap in the VM.
+
+#include <gtest/gtest.h>
+
+#include "src/core/driver_sources.h"
+#include "src/dsl/compiler.h"
+#include "src/rt/decoded_image.h"
+#include "src/rt/vm.h"
+
+namespace micropnp {
+namespace {
+
+uint8_t B(Op op) { return static_cast<uint8_t>(op); }
+
+// A minimal image around raw code bytes: one init handler at offset 0.
+DriverImage MakeImage(std::vector<uint8_t> code) {
+  DriverImage image;
+  image.device_id = 1;
+  image.handlers.push_back(HandlerEntry{kEventInit, 0, 0});
+  image.code = std::move(code);
+  return image;
+}
+
+Status DecodeStatus(const DriverImage& image) {
+  Result<DecodedImage> decoded = DecodedImage::Decode(image);
+  return decoded.ok() ? OkStatus() : decoded.status();
+}
+
+void ExpectRejected(const DriverImage& image, const std::string& message_fragment) {
+  const Status status = DecodeStatus(image);
+  ASSERT_FALSE(status.ok()) << "expected rejection for: " << message_fragment;
+  EXPECT_NE(status.message().find(message_fragment), std::string::npos)
+      << "got: " << status.ToString();
+}
+
+// ---------------------------------------------- load-time rejections --------
+
+TEST(DecodedImage, RejectsInvalidOpcode) {
+  ExpectRejected(MakeImage({0xee}), "invalid opcode");
+}
+
+TEST(DecodedImage, RejectsTruncatedInstruction) {
+  // push.i16 wants two operand bytes; only one is present.
+  ExpectRejected(MakeImage({B(Op::kPushI16), 0x01}), "truncated instruction");
+}
+
+TEST(DecodedImage, RejectsBranchOffInstructionBoundary) {
+  // jmp +1 lands inside the push.i16 that follows it.
+  ExpectRejected(MakeImage({B(Op::kJmp), 0x00, 0x01,        //
+                            B(Op::kPushI16), 0x00, 0x07,    //
+                            B(Op::kPop), B(Op::kRet)}),
+                 "branch target off instruction boundary");
+}
+
+TEST(DecodedImage, RejectsBranchOutOfCode) {
+  ExpectRejected(MakeImage({B(Op::kJmp), 0x00, 0x40, B(Op::kRet)}), "branch target out of code");
+  // Backward past the start of code.
+  ExpectRejected(MakeImage({B(Op::kJmp), 0xff, 0x80, B(Op::kRet)}), "branch target out of code");
+}
+
+TEST(DecodedImage, RejectsFallingOffTheEndOfCode) {
+  ExpectRejected(MakeImage({B(Op::kNop)}), "falls off the end");
+}
+
+TEST(DecodedImage, RejectsStaticStackOverflow) {
+  // One push deeper than the VM stack, all statically visible.
+  std::vector<uint8_t> code(kVmStackDepth + 1, B(Op::kPush0));
+  code.push_back(B(Op::kRet));
+  ExpectRejected(MakeImage(std::move(code)), "static stack overflow");
+}
+
+TEST(DecodedImage, AcceptsExactlyFullStack) {
+  std::vector<uint8_t> code(kVmStackDepth, B(Op::kPush0));
+  code.push_back(B(Op::kRet));
+  EXPECT_TRUE(DecodeStatus(MakeImage(std::move(code))).ok());
+}
+
+TEST(DecodedImage, RejectsStaticStackUnderflow) {
+  ExpectRejected(MakeImage({B(Op::kPop), B(Op::kRet)}), "static stack underflow");
+  // A binary op with a single operand underflows too.
+  ExpectRejected(MakeImage({B(Op::kPush1), B(Op::kAdd), B(Op::kPop), B(Op::kRet)}),
+                 "static stack underflow");
+  // ret.val with nothing to return.
+  ExpectRejected(MakeImage({B(Op::kRetVal)}), "static stack underflow");
+}
+
+TEST(DecodedImage, RejectsStackOverflowAroundLoop) {
+  // A loop whose body has a net positive stack effect: depth grows each
+  // iteration, so the interval analysis must flag it even though a single
+  // pass over the body fits.
+  ExpectRejected(MakeImage({B(Op::kPush0),                //
+                            B(Op::kJmp), 0xff, 0xfc,      // back to the push
+                            B(Op::kRet)}),
+                 "static stack overflow");
+}
+
+TEST(DecodedImage, RejectsOutOfRangeGlobalSlot) {
+  DriverImage image = MakeImage({B(Op::kPush0), B(Op::kStoreG), 0x02, B(Op::kRet)});
+  image.scalar_types = {DslType::kInt32};  // slot 2 does not exist
+  ExpectRejected(image, "global slot out of range");
+}
+
+TEST(DecodedImage, RejectsOutOfRangeArrayIndex) {
+  // No arrays declared: every static array reference is invalid.
+  ExpectRejected(MakeImage({B(Op::kRetArr), 0x00}), "array index out of range");
+  ExpectRejected(MakeImage({B(Op::kPush0), B(Op::kLoadA), 0x03, B(Op::kPop), B(Op::kRet)}),
+                 "array index out of range");
+}
+
+TEST(DecodedImage, RejectsOutOfRangeLocalIndex) {
+  ExpectRejected(MakeImage({B(Op::kLoadL), 0x04, B(Op::kPop), B(Op::kRet)}),
+                 "local index out of range");
+}
+
+TEST(DecodedImage, RejectsSignalToUnhandledEvent) {
+  ExpectRejected(MakeImage({B(Op::kSignalSelf), 0x50, B(Op::kRet)}), "signal to unhandled event");
+}
+
+TEST(DecodedImage, RejectsSignalToUnknownNativeFunction) {
+  ExpectRejected(MakeImage({B(Op::kSignalLib), 0x09, 0x09, B(Op::kRet)}),
+                 "signal to unknown native function");
+}
+
+TEST(DecodedImage, RejectsSignalToUnimportedLibrary) {
+  // timer.stop exists globally but the image never imported the library:
+  // a configuration fault caught at load time, not per-dispatch.
+  DriverImage image = MakeImage({B(Op::kSignalLib), kLibTimer, kTimerStop, B(Op::kRet)});
+  image.imports = {kLibAdc};
+  ExpectRejected(image, "signal to library not in imports");
+  image.imports = {kLibAdc, kLibTimer};
+  EXPECT_TRUE(DecodeStatus(image).ok());
+}
+
+TEST(DecodedImage, RejectsHandlerOffInstructionBoundary) {
+  DriverImage image = MakeImage({B(Op::kPushI16), 0x00, 0x07, B(Op::kPop), B(Op::kRet)});
+  image.handlers.push_back(HandlerEntry{kEventRead, 0, 1});  // inside the push
+  ExpectRejected(image, "handler entry off instruction boundary");
+}
+
+TEST(DecodedImage, RejectsHandlerOffsetOutOfRange) {
+  DriverImage image = MakeImage({B(Op::kRet)});
+  image.handlers.push_back(HandlerEntry{kEventRead, 0, 9});
+  ExpectRejected(image, "handler offset out of range");
+
+  DriverImage empty;
+  empty.device_id = 1;
+  empty.handlers.push_back(HandlerEntry{kEventInit, 0, 0});  // but no code at all
+  ExpectRejected(empty, "handler offset out of range");
+}
+
+TEST(DecodedImage, RejectsHandlerWithTooManyArguments) {
+  DriverImage image = MakeImage({B(Op::kRet)});
+  image.handlers[0].argc = 5;  // locals has 4 slots
+  ExpectRejected(image, "declares 5 arguments");
+}
+
+// ------------------------------------------------------ decoded form --------
+
+TEST(DecodedImage, ResolvesBranchesConstantsAndHandlerTable) {
+  // init: push.i16 300; jz +1; nop; ret   (jz lands on ret)
+  DriverImage image = MakeImage({B(Op::kPushI16), 0x01, 0x2c,  //
+                                 B(Op::kJz), 0x00, 0x01,       //
+                                 B(Op::kNop),                  //
+                                 B(Op::kRet)});
+  Result<DecodedImage> decoded = DecodedImage::Decode(image);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+
+  ASSERT_EQ(decoded->code().size(), 4u);
+  EXPECT_EQ(decoded->code()[0].imm, 300);
+  EXPECT_EQ(decoded->code()[1].imm, 3);  // decoded index of ret, not a byte offset
+  EXPECT_EQ(decoded->code()[1].cycles, OpCycleCost(Op::kJz));
+
+  const DecodedHandler* handler = decoded->FindHandler(kEventInit);
+  ASSERT_NE(handler, nullptr);
+  EXPECT_EQ(handler->entry, 0u);
+  EXPECT_EQ(handler->max_stack, 1u);
+  EXPECT_EQ(decoded->FindHandler(kEventRead), nullptr);
+  EXPECT_EQ(decoded->max_stack_depth(), 1u);
+}
+
+TEST(DecodedImage, EveryBundledDriverVerifies) {
+  // The compiler's output must always satisfy the verifier — the pipeline
+  // would otherwise reject its own drivers.
+  for (const BundledDriver& d : BundledDrivers()) {
+    Result<DriverImage> image = CompileDriver(d.source);
+    ASSERT_TRUE(image.ok()) << d.name;
+    Result<DecodedImage> decoded = DecodedImage::Decode(*image);
+    EXPECT_TRUE(decoded.ok()) << d.name << ": " << decoded.status().ToString();
+    EXPECT_LE(decoded->max_stack_depth(), kVmStackDepth) << d.name;
+    EXPECT_EQ(decoded->crc(), image->ImageCrc());
+  }
+}
+
+// ------------------------------------------------- runtime traps stay -------
+
+TEST(DecodedImage, WatchdogStillTrapsAtRuntime) {
+  // An infinite but stack-balanced loop passes verification; the watchdog
+  // catches it while executing.
+  DriverImage image = MakeImage({B(Op::kNop), B(Op::kJmp), 0xff, 0xfc});
+  Result<std::shared_ptr<const DecodedImage>> decoded = DecodedImage::DecodeShared(image);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+
+  Vm vm(*decoded);
+  Vm::ExecResult r = vm.Dispatch(Event::Of(kEventInit), nullptr);
+  EXPECT_EQ(r.outcome, Vm::Outcome::kTrap);
+  EXPECT_NE(r.trap.message().find("watchdog"), std::string::npos);
+  EXPECT_EQ(r.instructions, kVmWatchdogInstructions + 1);
+}
+
+TEST(DecodedImage, DynamicArraySubscriptStillTrapsAtRuntime) {
+  // The array *index* operand is static (and verified); the subscript is
+  // runtime data and still traps out of bounds.
+  DriverImage image = MakeImage({B(Op::kPushI8), 0x05,       //
+                                 B(Op::kLoadA), 0x00,        //
+                                 B(Op::kPop), B(Op::kRet)});
+  image.array_sizes = {4};  // subscript 5 is out of bounds at runtime
+  Result<std::shared_ptr<const DecodedImage>> decoded = DecodedImage::DecodeShared(image);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+
+  Vm vm(*decoded);
+  Vm::ExecResult r = vm.Dispatch(Event::Of(kEventInit), nullptr);
+  EXPECT_EQ(r.outcome, Vm::Outcome::kTrap);
+  EXPECT_NE(r.trap.message().find("array subscript out of bounds"), std::string::npos);
+}
+
+TEST(DecodedImage, DivisionByZeroStillTrapsAtRuntime) {
+  DriverImage image = MakeImage({B(Op::kPush1), B(Op::kPush0), B(Op::kDiv),  //
+                                 B(Op::kPop), B(Op::kRet)});
+  Result<std::shared_ptr<const DecodedImage>> decoded = DecodedImage::DecodeShared(image);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+
+  Vm vm(*decoded);
+  Vm::ExecResult r = vm.Dispatch(Event::Of(kEventInit), nullptr);
+  EXPECT_EQ(r.outcome, Vm::Outcome::kTrap);
+  EXPECT_NE(r.trap.message().find("division by zero"), std::string::npos);
+  EXPECT_EQ(r.instructions, 3u);  // push, push, div — all charged
+}
+
+}  // namespace
+}  // namespace micropnp

@@ -90,25 +90,78 @@ TEST(EventRouter, WakeupHookFiresOnPost) {
   EXPECT_EQ(wakeups, 2);
 }
 
+TEST(EventRouter, ProcessAllBoundedByEntriesAtEntry) {
+  // A sink that posts a new event on every dispatch must not livelock the
+  // drain: ProcessAll handles only what was pending when it was called.
+  EventRouter router;
+  router.Post(0, Event::Of(kEventRead));
+  router.Post(0, Event::Of(kEventRead));
+  size_t reposts = 0;
+  const size_t drained = router.ProcessAll([&](int, const Event&) {
+    router.Post(0, Event::Of(kEventTick));
+    ++reposts;
+  });
+  EXPECT_EQ(drained, 2u);
+  EXPECT_EQ(reposts, 2u);
+  EXPECT_EQ(router.pending(), 2u);  // the re-posts wait for the next drain
+}
+
+TEST(EventRouter, SelfRepostingDriverDrainTerminates) {
+  // End-to-end shape of the livelock: a driver whose handler re-signals
+  // itself on every dispatch.  Each drain terminates; pending work carries
+  // over instead of spinning forever inside one call.
+  Scheduler sched;
+  EventRouter router;
+  DriverManager manager(sched, router);
+  ChannelBus bus(sched);
+  Result<DriverImage> image = CompileDriver(R"(
+device 1;
+int32_t n;
+event init():
+    signal this.spin();
+event destroy():
+    n = 0;
+event spin():
+    n += 1;
+    signal this.spin();
+)");
+  ASSERT_TRUE(image.ok()) << image.status().ToString();
+  ASSERT_TRUE(manager.InstallImage(*image).ok());
+  ASSERT_TRUE(manager.Activate(0, image->device_id, bus).ok());
+
+  // Every pump must return after a bounded number of dispatches.
+  for (int pump = 0; pump < 10; ++pump) {
+    EXPECT_LE(manager.DispatchPending(), EventRouter::kQueueDepth);
+  }
+  EXPECT_GE(manager.HostForChannel(0)->vm().global(0), 9);  // it did make progress
+  ASSERT_TRUE(manager.Deactivate(0).ok());
+}
+
 // ------------------------------------------------------------------- vm ----
 
-// Compiles a snippet wrapped in a minimal driver and runs one handler.
-class VmFixture {
+// Compiles a snippet wrapped in a minimal driver, decodes it, and runs
+// handlers against a recording VmHost.
+class VmFixture : public VmHost {
  public:
   explicit VmFixture(const std::string& source) {
     Result<DriverImage> image = CompileDriver(source);
     EXPECT_TRUE(image.ok()) << image.status().ToString();
-    if (image.ok()) {
-      vm_ = std::make_unique<Vm>(*image);
+    if (!image.ok()) {
+      return;
+    }
+    Result<std::shared_ptr<const DecodedImage>> decoded = DecodedImage::DecodeShared(*image);
+    EXPECT_TRUE(decoded.ok()) << decoded.status().ToString();
+    if (decoded.ok()) {
+      vm_ = std::make_unique<Vm>(*decoded);
     }
   }
 
-  Vm::ExecResult Run(const Event& event) {
-    return vm_->Dispatch(
-        event, [this](const Event& e) { self_signals_.push_back(e); },
-        [this](LibraryId lib, LibraryFunctionId fn, std::span<const int32_t> args) {
-          lib_calls_.push_back({lib, fn, std::vector<int32_t>(args.begin(), args.end())});
-        });
+  Vm::ExecResult Run(const Event& event) { return vm_->Dispatch(event, this); }
+
+  void OnSelfSignal(const Event& e) override { self_signals_.push_back(e); }
+  void OnLibSignal(LibraryId lib, LibraryFunctionId fn,
+                   std::span<const int32_t> args) override {
+    lib_calls_.push_back({lib, fn, std::vector<int32_t>(args.begin(), args.end())});
   }
 
   struct LibCall {
@@ -215,7 +268,7 @@ event read():
   EXPECT_EQ(fx.Run(Event::Of(kEventRead)).value, 32);
 }
 
-TEST(Vm, ReturnArrayCopiesBuffer) {
+TEST(Vm, ReturnArrayViewsVmBuffer) {
   VmFixture fx(R"(
 device 1;
 uint8_t buf[3];
@@ -231,7 +284,10 @@ event read():
   fx.Run(Event::Of(kEventInit));
   Vm::ExecResult r = fx.Run(Event::Of(kEventRead));
   EXPECT_EQ(r.outcome, Vm::Outcome::kArray);
-  EXPECT_EQ(r.array, (std::vector<uint8_t>{1, 2, 3}));
+  // Zero-allocation result: a view into the VM's own array storage.
+  EXPECT_EQ(std::vector<uint8_t>(r.array.begin(), r.array.end()),
+            (std::vector<uint8_t>{1, 2, 3}));
+  EXPECT_EQ(r.array.data(), fx.vm_->array(0).data());
 }
 
 TEST(Vm, DivisionByZeroTraps) {
@@ -323,6 +379,84 @@ event destroy():
   EXPECT_GT(r.instructions, 0u);
   EXPECT_GT(r.cycles, r.instructions);  // every op costs > 1 cycle
   EXPECT_EQ(fx.vm_->total_instructions(), r.instructions);
+}
+
+// Section 6.2 guard: the decoded fast path must charge exactly the same
+// instruction and cycle counts as the seed byte-walking interpreter, for
+// every bundled driver and the whole lifecycle event vocabulary.
+TEST(Vm, DecodedAccountingBitIdenticalToReference) {
+  // A null host: signals vanish, which keeps both paths deterministic.
+  struct NullHost final : VmHost {
+    void OnSelfSignal(const Event&) override {}
+    void OnLibSignal(LibraryId, LibraryFunctionId, std::span<const int32_t>) override {}
+  } host;
+
+  for (const BundledDriver& d : BundledDrivers()) {
+    Result<DriverImage> image = CompileDriver(d.source);
+    ASSERT_TRUE(image.ok()) << d.name;
+    Result<std::shared_ptr<const DecodedImage>> decoded = DecodedImage::DecodeShared(*image);
+    ASSERT_TRUE(decoded.ok()) << d.name << ": " << decoded.status().ToString();
+
+    Vm fast(*decoded);
+    Vm reference(*decoded);
+    const Event events[] = {Event::Of(kEventInit),        Event::Of(kEventRead),
+                            Event::Of(kEventWrite, 1),    Event::Of(kEventNewData, 512),
+                            Event::Of(kEventTick),        Event::Of(kEventDestroy)};
+    for (const Event& event : events) {
+      Vm::ExecResult a = fast.Dispatch(event, &host);
+      Vm::ExecResult b = reference.DispatchReference(event, &host);
+      EXPECT_EQ(a.instructions, b.instructions) << d.name << " event " << int(event.id);
+      EXPECT_EQ(a.cycles, b.cycles) << d.name << " event " << int(event.id);
+      EXPECT_EQ(a.outcome, b.outcome) << d.name << " event " << int(event.id);
+      EXPECT_EQ(a.value, b.value) << d.name << " event " << int(event.id);
+    }
+    EXPECT_EQ(fast.total_instructions(), reference.total_instructions()) << d.name;
+    EXPECT_EQ(fast.total_cycles(), reference.total_cycles()) << d.name;
+  }
+}
+
+// Regression for the seed's handler-argument copy: the loop guarded on
+// event.args.size() but consulted event.argc, and never clamped the
+// handler's declared count to the 4 local slots.  An event claiming more
+// arguments than it carries must bind only what exists; extras read as zero.
+TEST(Vm, HandlerArgumentBindingClampsToLocalsAndEvent) {
+  VmFixture fx(R"(
+device 1;
+event init():
+    signal this.sum(1, 2, 3, 4);
+event destroy():
+    signal this.sum(0, 0, 0, 0);
+event sum(int32_t a, int32_t b, int32_t c, int32_t d):
+    return a + b + c + d;
+)");
+  ASSERT_NE(fx.vm_, nullptr);
+
+  // Four declared, four provided.
+  Event full;
+  full.id = kEventCustomBase;
+  full.argc = 4;
+  full.args = {10, 20, 30, 40};
+  EXPECT_EQ(fx.Run(full).value, 100);
+
+  // An event whose argc over-claims what the 4-slot payload can carry.
+  Event overclaimed = full;
+  overclaimed.argc = 9;
+  EXPECT_EQ(fx.Run(overclaimed).value, 100);
+
+  // Fewer arguments than the handler declares: missing ones read as zero.
+  Event partial;
+  partial.id = kEventCustomBase;
+  partial.argc = 2;
+  partial.args = {10, 20, 999, 999};
+  EXPECT_EQ(fx.Run(partial).value, 30);
+
+  // The reference path applies the same clamp.
+  struct NullHost final : VmHost {
+    void OnSelfSignal(const Event&) override {}
+    void OnLibSignal(LibraryId, LibraryFunctionId, std::span<const int32_t>) override {}
+  } host;
+  EXPECT_EQ(fx.vm_->DispatchReference(overclaimed, &host).value, 100);
+  EXPECT_EQ(fx.vm_->DispatchReference(partial, &host).value, 30);
 }
 
 // ----------------------------------------------- end-to-end driver runs ----
@@ -555,6 +689,49 @@ TEST(DriverManager, CannotRemoveImageInUse) {
   EXPECT_EQ(manager.RemoveImage(image->device_id).code(), StatusCode::kBusy);
   ASSERT_TRUE(manager.Deactivate(0).ok());
   EXPECT_TRUE(manager.RemoveImage(image->device_id).ok());
+}
+
+TEST(DriverManager, DecodeCacheSkipsVerifyOnReinstall) {
+  Scheduler sched;
+  EventRouter router;
+  DriverManager manager(sched, router);
+  Result<DriverImage> image = CompileDriver(BundledDrivers()[0].source);
+  ASSERT_TRUE(image.ok());
+
+  ASSERT_TRUE(manager.InstallImage(*image).ok());
+  EXPECT_EQ(manager.decode_cache_hits(), 0u);
+
+  // Re-deploying byte-identical bytes hits the CRC-keyed cache...
+  ASSERT_TRUE(manager.InstallImage(*image).ok());
+  EXPECT_EQ(manager.decode_cache_hits(), 1u);
+
+  // ...even across a remove (re-plugging the same device type is free).
+  ASSERT_TRUE(manager.RemoveImage(image->device_id).ok());
+  ASSERT_TRUE(manager.InstallImage(*image).ok());
+  EXPECT_EQ(manager.decode_cache_hits(), 2u);
+
+  // Every host for the device type shares one decoded image.
+  ChannelBus bus_a(sched), bus_b(sched);
+  ASSERT_TRUE(manager.Activate(0, image->device_id, bus_a).ok());
+  ASSERT_TRUE(manager.Activate(1, image->device_id, bus_b).ok());
+  EXPECT_EQ(&manager.HostForChannel(0)->vm().decoded(),
+            &manager.HostForChannel(1)->vm().decoded());
+}
+
+TEST(DriverManager, InstallRejectsStaticallyInvalidImage) {
+  // Load-time verification: a corrupt image is refused at DEPLOY time with a
+  // Status, never discovered mid-handler.
+  Scheduler sched;
+  EventRouter router;
+  DriverManager manager(sched, router);
+  Result<DriverImage> image = CompileDriver(BundledDrivers()[0].source);
+  ASSERT_TRUE(image.ok());
+  DriverImage corrupt = *image;
+  corrupt.code[0] = 0xee;  // not an opcode
+  const Status status = manager.InstallImage(corrupt);
+  EXPECT_EQ(status.code(), StatusCode::kCorrupt);
+  EXPECT_NE(status.message().find("invalid opcode"), std::string::npos);
+  EXPECT_FALSE(manager.HasDriverFor(corrupt.device_id));
 }
 
 TEST(DriverManager, ActivateWithoutImageFails) {
