@@ -55,9 +55,9 @@ int main() {
 
   // Discover Things carrying a TMP36, then read one.
   client.Discover(kTmp36TypeId, /*window_ms=*/300,
-                  [&](std::vector<MicroPnpClient::DiscoveredThing> things) {
+                  [&](Result<std::vector<MicroPnpClient::DiscoveredThing>> things) {
                     std::printf("[%7.1f ms] client: discovery found %zu thing(s)\n",
-                                deployment.NowMillis(), things.size());
+                                deployment.NowMillis(), things.ok() ? things->size() : 0);
                   });
   deployment.RunForMillis(500);
 

@@ -20,8 +20,6 @@ const char* StatusCodeName(StatusCode code) {
       return "failed_precondition";
     case StatusCode::kUnavailable:
       return "unavailable";
-    case StatusCode::kTimeout:
-      return "timeout";
     case StatusCode::kBusy:
       return "busy";
     case StatusCode::kCorrupt:
@@ -30,6 +28,10 @@ const char* StatusCodeName(StatusCode code) {
       return "unimplemented";
     case StatusCode::kInternal:
       return "internal";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case StatusCode::kCancelled:
+      return "cancelled";
   }
   return "unknown";
 }

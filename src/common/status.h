@@ -23,14 +23,15 @@ enum class StatusCode : uint8_t {
   kResourceExhausted,
   kFailedPrecondition,
   kUnavailable,
-  kTimeout,
   kBusy,
   kCorrupt,
   kUnimplemented,
   kInternal,
+  kDeadlineExceeded,
+  kCancelled,
 };
 
-// Human-readable name of a status code ("ok", "timeout", ...).
+// Human-readable name of a status code ("ok", "deadline_exceeded", ...).
 const char* StatusCodeName(StatusCode code);
 
 // A status is a code plus an optional context message.  Cheap to copy when OK
@@ -75,7 +76,6 @@ inline Status FailedPrecondition(std::string msg) {
 inline Status Unavailable(std::string msg) {
   return Status(StatusCode::kUnavailable, std::move(msg));
 }
-inline Status TimeoutError(std::string msg) { return Status(StatusCode::kTimeout, std::move(msg)); }
 inline Status BusyError(std::string msg) { return Status(StatusCode::kBusy, std::move(msg)); }
 inline Status CorruptError(std::string msg) { return Status(StatusCode::kCorrupt, std::move(msg)); }
 inline Status Unimplemented(std::string msg) {
@@ -83,6 +83,12 @@ inline Status Unimplemented(std::string msg) {
 }
 inline Status InternalError(std::string msg) {
   return Status(StatusCode::kInternal, std::move(msg));
+}
+inline Status DeadlineExceeded(std::string msg) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+}
+inline Status CancelledError(std::string msg) {
+  return Status(StatusCode::kCancelled, std::move(msg));
 }
 
 // Result<T>: either a value or a non-OK Status.

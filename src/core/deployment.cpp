@@ -38,10 +38,11 @@ MicroPnpThing& Deployment::AddThing(const std::string& name, NetNode* parent) {
   return *things_.back();
 }
 
-MicroPnpClient& Deployment::AddClient(const std::string& name, NetNode* parent) {
+MicroPnpClient& Deployment::AddClient(const std::string& name, NetNode* parent,
+                                      size_t max_in_flight) {
   NetNode* node = fabric_.CreateNode(name, NextUnicastAddress(), NodeProfile::Server(),
                                      parent != nullptr ? parent : root_);
-  clients_.push_back(std::make_unique<MicroPnpClient>(scheduler_, node));
+  clients_.push_back(std::make_unique<MicroPnpClient>(scheduler_, node, max_in_flight));
   return *clients_.back();
 }
 

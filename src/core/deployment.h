@@ -48,7 +48,8 @@ class Deployment {
   MicroPnpManager& AddManager(const std::string& name = "manager", NetNode* parent = nullptr,
                               bool preload_bundled_drivers = true);
   MicroPnpThing& AddThing(const std::string& name, NetNode* parent = nullptr);
-  MicroPnpClient& AddClient(const std::string& name, NetNode* parent = nullptr);
+  MicroPnpClient& AddClient(const std::string& name, NetNode* parent = nullptr,
+                            size_t max_in_flight = 64);
   // A bare relay node extending the tree (for multi-hop topologies).
   NetNode* AddRelayNode(const std::string& name, NetNode* parent = nullptr);
 

@@ -4,8 +4,8 @@
 
 namespace micropnp {
 
-MicroPnpClient::MicroPnpClient(Scheduler& scheduler, NetNode* node)
-    : scheduler_(scheduler), node_(node) {
+MicroPnpClient::MicroPnpClient(Scheduler& scheduler, NetNode* node, size_t max_in_flight)
+    : node_(node), endpoint_(scheduler, node, max_in_flight) {
   node_->JoinGroup(AllClientsGroup(node_->prefix()));
   node_->BindUdp(kMicroPnpUdpPort,
                  [this](const Ip6Address& src, const Ip6Address& dst, uint16_t port,
@@ -13,164 +13,195 @@ MicroPnpClient::MicroPnpClient(Scheduler& scheduler, NetNode* node)
 }
 
 void MicroPnpClient::Discover(DeviceTypeId device, double window_ms, DiscoveryCallback callback) {
-  const SequenceNumber seq = sequence_++;
-  discoveries_[seq] = PendingDiscovery{{}, std::move(callback)};
-
-  Message m;
-  m.type = MessageType::kPeripheralDiscovery;
-  m.sequence = seq;
-  node_->SendUdp(PeripheralGroup(node_->prefix(), device), kMicroPnpUdpPort, m.Serialize());
-
-  scheduler_.ScheduleAfter(SimTime::FromMillis(window_ms), [this, seq] {
-    auto it = discoveries_.find(seq);
-    if (it == discoveries_.end()) {
-      return;
-    }
-    PendingDiscovery pending = std::move(it->second);
-    discoveries_.erase(it);
-    pending.callback(std::move(pending.results));
-  });
+  endpoint_.SendGather(
+      PeripheralGroup(node_->prefix(), device), MessageType::kPeripheralDiscovery,
+      PeripheralDiscoveryPayload{}, {MessageType::kSolicitedAdvertisement}, window_ms,
+      [callback = std::move(callback)](Result<ProtoEndpoint::GatherReplies> replies) {
+        if (!callback) {
+          return;
+        }
+        if (!replies.ok()) {
+          callback(replies.status());
+          return;
+        }
+        std::vector<DiscoveredThing> results;
+        results.reserve(replies->size());
+        for (auto& [src, reply] : *replies) {
+          if (const auto* ad = reply.payload_as<AdvertisementPayload>()) {
+            results.push_back(DiscoveredThing{src, ad->peripherals});
+          }
+        }
+        callback(std::move(results));
+      });
 }
 
 void MicroPnpClient::Read(const Ip6Address& thing, DeviceTypeId device, ReadCallback callback,
-                          double timeout_ms) {
-  const SequenceNumber seq = sequence_++;
-  Message m = MakeDeviceMessage(MessageType::kRead, seq, device);
-  PendingRead pending;
-  pending.callback = std::move(callback);
-  pending.timeout = scheduler_.ScheduleAfter(SimTime::FromMillis(timeout_ms), [this, seq] {
-    auto it = reads_.find(seq);
-    if (it == reads_.end()) {
-      return;
-    }
-    ReadCallback cb = std::move(it->second.callback);
-    reads_.erase(it);
-    cb(TimeoutError("read timed out"));
-  });
-  reads_[seq] = std::move(pending);
-  node_->SendUdp(thing, kMicroPnpUdpPort, m.Serialize());
+                          const RequestOptions& options) {
+  endpoint_.SendRequest(
+      thing, MessageType::kRead, DeviceTargetPayload{device}, {MessageType::kData},
+      [callback = std::move(callback)](Result<Message> reply) {
+        if (!callback) {
+          return;
+        }
+        if (!reply.ok()) {
+          callback(reply.status());
+          return;
+        }
+        const auto* data = reply->payload_as<ValuePayload>();
+        callback(data != nullptr ? Result<WireValue>(data->value)
+                                 : Result<WireValue>(CorruptError("malformed data reply")));
+      },
+      options);
 }
 
 void MicroPnpClient::Write(const Ip6Address& thing, DeviceTypeId device, int32_t value,
-                           WriteCallback callback, double timeout_ms) {
-  const SequenceNumber seq = sequence_++;
-  Message m = MakeDeviceMessage(MessageType::kWrite, seq, device);
-  m.write_value = value;
-  PendingWrite pending;
-  pending.callback = std::move(callback);
-  pending.timeout = scheduler_.ScheduleAfter(SimTime::FromMillis(timeout_ms), [this, seq] {
-    auto it = writes_.find(seq);
-    if (it == writes_.end()) {
-      return;
-    }
-    WriteCallback cb = std::move(it->second.callback);
-    writes_.erase(it);
-    cb(TimeoutError("write timed out"));
-  });
-  writes_[seq] = std::move(pending);
-  node_->SendUdp(thing, kMicroPnpUdpPort, m.Serialize());
+                           WriteCallback callback, const RequestOptions& options) {
+  endpoint_.SendRequest(
+      thing, MessageType::kWrite, WritePayload{device, value}, {MessageType::kWriteAck},
+      [callback = std::move(callback)](Result<Message> reply) {
+        if (!callback) {
+          return;
+        }
+        if (!reply.ok()) {
+          callback(reply.status());
+          return;
+        }
+        const auto* ack = reply->payload_as<StatusAckPayload>();
+        if (ack == nullptr) {
+          callback(CorruptError("malformed write ack"));
+          return;
+        }
+        callback(ack->status == 0 ? OkStatus() : NotFound("peripheral not present"));
+      },
+      options);
 }
 
 void MicroPnpClient::StartStream(const Ip6Address& thing, DeviceTypeId device, uint32_t period_ms,
-                                 StreamCallback on_value, StreamClosedCallback on_closed) {
-  const SequenceNumber seq = sequence_++;
-  StreamSub sub;
-  sub.device = device;
-  sub.on_value = std::move(on_value);
-  sub.on_closed = std::move(on_closed);
-  stream_requests_[seq] = std::move(sub);
-
-  Message m = MakeDeviceMessage(MessageType::kStream, seq, device);
-  m.stream_period_ms = period_ms;
-  node_->SendUdp(thing, kMicroPnpUdpPort, m.Serialize());
+                                 StreamCallback on_value, StreamClosedCallback on_closed,
+                                 const RequestOptions& options) {
+  RequestOptions stream_options = options;
+  // Sequence + type alone cannot prove a (13) answers *this* request (other
+  // clients' sequences toward the same Thing may collide): require the
+  // device to match too.
+  stream_options.accept = [device](const Message& reply) {
+    const auto* established = reply.payload_as<StreamEstablishedPayload>();
+    return established != nullptr && established->device_id == device;
+  };
+  endpoint_.SendRequest(
+      thing, MessageType::kStream, StreamRequestPayload{device, period_ms},
+      {MessageType::kStreamEstablished},
+      [this, thing, device, on_value = std::move(on_value),
+       on_closed = std::move(on_closed)](Result<Message> reply) mutable {
+        if (!reply.ok()) {
+          // (13) never arrived: the subscription expires instead of
+          // leaking.  After a deadline the (12) may still have reached the
+          // Thing and activated the stream, so send a best-effort shutdown
+          // to keep it from streaming to a memberless group forever.  The
+          // Thing's stream is a shared per-device resource (any client's
+          // stop closes it for all, with (15) notifying the group), so
+          // this recovery mirrors an explicit StopStream.  On capacity
+          // rejection or cancellation nothing went on the wire — no
+          // recovery needed.
+          if (reply.status().code() == StatusCode::kDeadlineExceeded) {
+            endpoint_.SendOneWay(thing, MessageType::kStream, StreamRequestPayload{device, 0});
+          }
+          if (on_closed) {
+            on_closed();
+          }
+          return;
+        }
+        // Re-establishing over an existing subscription closes the old one
+        // (its on_closed fires) rather than silently dropping its callbacks.
+        CloseStream(device);
+        const auto* established = reply->payload_as<StreamEstablishedPayload>();
+        StreamSub sub;
+        sub.group = established->group;
+        sub.on_value = std::move(on_value);
+        sub.on_closed = std::move(on_closed);
+        node_->JoinGroup(sub.group);
+        streams_[device] = std::move(sub);
+      },
+      stream_options);
 }
 
-void MicroPnpClient::StopStream(const Ip6Address& thing, DeviceTypeId device) {
-  Message m = MakeDeviceMessage(MessageType::kStream, sequence_++, device);
-  m.stream_period_ms = 0;  // shutdown request
-  node_->SendUdp(thing, kMicroPnpUdpPort, m.Serialize());
+void MicroPnpClient::StopStream(const Ip6Address& thing, DeviceTypeId device,
+                                const RequestOptions& options) {
+  // Period 0 requests shutdown.  The Thing answers with (15) to the stream
+  // group; our copy arrives from the Thing's unicast address with this
+  // request's sequence, completing the transaction.  Whether the reply
+  // arrives or the deadline fires, the local subscription is closed.  The
+  // predicate keeps another client's (15) for a different device (multicast,
+  // possibly sequence-colliding) from completing this transaction.
+  RequestOptions stop_options = options;
+  stop_options.accept = [device](const Message& reply) {
+    const auto* closed = reply.payload_as<DeviceTargetPayload>();
+    return closed != nullptr && closed->device_id == device;
+  };
+  endpoint_.SendRequest(
+      thing, MessageType::kStream, StreamRequestPayload{device, 0},
+      {MessageType::kStreamClosed},
+      [this, thing, device](Result<Message> reply) {
+        // On capacity rejection the (12) never went on the wire, and after
+        // a deadline it may have been lost: re-send the shutdown one-way
+        // (capacity-exempt, idempotent) so the Thing cannot keep streaming
+        // to a memberless group.  Cancellation is teardown — skip.
+        if (!reply.ok() && reply.status().code() != StatusCode::kCancelled) {
+          endpoint_.SendOneWay(thing, MessageType::kStream, StreamRequestPayload{device, 0});
+        }
+        CloseStream(device);
+      },
+      stop_options);
+}
+
+void MicroPnpClient::CloseStream(DeviceTypeId device) {
+  auto it = streams_.find(device);
+  if (it == streams_.end()) {
+    return;
+  }
+  StreamSub sub = std::move(it->second);
+  streams_.erase(it);
+  node_->LeaveGroup(sub.group);
+  if (sub.on_closed) {
+    sub.on_closed();
+  }
 }
 
 void MicroPnpClient::OnDatagram(const Ip6Address& src, const Ip6Address& /*dst*/,
                                 uint16_t /*port*/, const std::vector<uint8_t>& payload) {
   Result<Message> parsed = Message::Parse(ByteSpan(payload.data(), payload.size()));
   if (!parsed.ok()) {
+    MLOG(kDebug, "client") << "dropping malformed datagram from " << src.ToString();
     return;
   }
   const Message& m = *parsed;
+  if (endpoint_.HandleReply(src, m)) {
+    return;
+  }
   switch (m.type) {
-    case MessageType::kUnsolicitedAdvertisement:
+    case MessageType::kUnsolicitedAdvertisement: {
       ++advertisements_seen_;
       if (advertisement_listener_) {
-        advertisement_listener_(src, m.peripherals);
+        const auto* ad = m.payload_as<AdvertisementPayload>();
+        advertisement_listener_(src, ad->peripherals);
       }
-      return;
-    case MessageType::kSolicitedAdvertisement: {
-      auto it = discoveries_.find(m.sequence);
-      if (it != discoveries_.end()) {
-        it->second.results.push_back(DiscoveredThing{src, m.peripherals});
-      }
-      return;
-    }
-    case MessageType::kData: {
-      auto it = reads_.find(m.sequence);
-      if (it == reads_.end()) {
-        return;
-      }
-      ReadCallback cb = std::move(it->second.callback);
-      scheduler_.Cancel(it->second.timeout);
-      reads_.erase(it);
-      cb(m.value);
-      return;
-    }
-    case MessageType::kWriteAck: {
-      auto it = writes_.find(m.sequence);
-      if (it == writes_.end()) {
-        return;
-      }
-      WriteCallback cb = std::move(it->second.callback);
-      scheduler_.Cancel(it->second.timeout);
-      writes_.erase(it);
-      cb(m.status == 0 ? OkStatus() : NotFound("peripheral not present"));
-      return;
-    }
-    case MessageType::kStreamEstablished: {
-      auto it = stream_requests_.find(m.sequence);
-      if (it == stream_requests_.end()) {
-        return;
-      }
-      StreamSub sub = std::move(it->second);
-      stream_requests_.erase(it);
-      sub.group = m.stream_group;
-      sub.joined = true;
-      node_->JoinGroup(sub.group);
-      streams_[m.device_id] = std::move(sub);
       return;
     }
     case MessageType::kStreamData: {
-      auto it = streams_.find(m.device_id);
+      const auto* data = m.payload_as<ValuePayload>();
+      auto it = streams_.find(data->device_id);
       if (it != streams_.end() && it->second.on_value) {
-        it->second.on_value(m.value);
+        it->second.on_value(data->value);
       }
       return;
     }
     case MessageType::kStreamClosed: {
-      auto it = streams_.find(m.device_id);
-      if (it == streams_.end()) {
-        return;
-      }
-      StreamSub sub = std::move(it->second);
-      streams_.erase(it);
-      if (sub.joined) {
-        node_->LeaveGroup(sub.group);
-      }
-      if (sub.on_closed) {
-        sub.on_closed();
-      }
+      // A (15) we did not request (another client stopped the stream, or
+      // the peripheral was unplugged).
+      CloseStream(m.payload_as<DeviceTargetPayload>()->device_id);
       return;
     }
     default:
-      return;
+      return;  // stale replies already counted by the endpoint
   }
 }
 

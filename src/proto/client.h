@@ -4,8 +4,12 @@
 // standard computing platforms.  It allows for remote discovery and
 // interaction with µPnP Things."  The client joins the all-clients group to
 // receive unsolicited advertisements, issues discovery (2), and performs
-// read (10)/(11), stream (12)..(15) and write (16)/(17) operations with
-// sequence-number matching and timeouts.
+// read (10)/(11), stream (12)..(15) and write (16)/(17) operations.
+//
+// Every request/response transaction rides the shared ProtoEndpoint:
+// sequence matching, deadlines, retransmission and exactly-once completion
+// live there, not here.  The client keeps only the state that outlives a
+// transaction (established stream subscriptions).
 
 #ifndef SRC_PROTO_CLIENT_H_
 #define SRC_PROTO_CLIENT_H_
@@ -16,22 +20,27 @@
 #include <vector>
 
 #include "src/net/fabric.h"
+#include "src/proto/endpoint.h"
 #include "src/proto/messages.h"
 
 namespace micropnp {
 
 class MicroPnpClient {
  public:
-  MicroPnpClient(Scheduler& scheduler, NetNode* node);
+  // `max_in_flight` bounds the endpoint's pending table; requests beyond it
+  // fail fast with kResourceExhausted.
+  MicroPnpClient(Scheduler& scheduler, NetNode* node, size_t max_in_flight = 64);
 
   // --- discovery --------------------------------------------------------------
   struct DiscoveredThing {
     Ip6Address address;
     std::vector<AdvertisedPeripheral> peripherals;
   };
-  using DiscoveryCallback = std::function<void(std::vector<DiscoveredThing>)>;
+  using DiscoveryCallback = std::function<void(Result<std::vector<DiscoveredThing>>)>;
   // Multicasts (2) to the group of Things carrying `device`, collects (3)
-  // responses for `window_ms`, then invokes the callback once.
+  // responses for `window_ms`, then invokes the callback exactly once: with
+  // the Things found (possibly none), or with a non-OK Status (capacity,
+  // cancellation) when the discovery never went on the wire.
   void Discover(DeviceTypeId device, double window_ms, DiscoveryCallback callback);
 
   // Unsolicited advertisements ((1), pushed on plug/unplug) surface here.
@@ -42,57 +51,66 @@ class MicroPnpClient {
   }
 
   // --- remote operations (Section 5.3.1) ---------------------------------------
+  // Every operation completes exactly once: with the value/ack, or with
+  // kDeadlineExceeded / kCancelled / kResourceExhausted.
+
   using ReadCallback = std::function<void(Result<WireValue>)>;
   void Read(const Ip6Address& thing, DeviceTypeId device, ReadCallback callback,
-            double timeout_ms = 2000.0);
+            const RequestOptions& options);
+  void Read(const Ip6Address& thing, DeviceTypeId device, ReadCallback callback,
+            double timeout_ms = 2000.0) {
+    RequestOptions options;
+    options.deadline_ms = timeout_ms;
+    Read(thing, device, std::move(callback), options);
+  }
 
   using WriteCallback = std::function<void(Status)>;
   void Write(const Ip6Address& thing, DeviceTypeId device, int32_t value, WriteCallback callback,
-             double timeout_ms = 2000.0);
+             const RequestOptions& options);
+  void Write(const Ip6Address& thing, DeviceTypeId device, int32_t value, WriteCallback callback,
+             double timeout_ms = 2000.0) {
+    RequestOptions options;
+    options.deadline_ms = timeout_ms;
+    Write(thing, device, value, std::move(callback), options);
+  }
 
   using StreamCallback = std::function<void(const WireValue&)>;
   using StreamClosedCallback = std::function<void()>;
   // Subscribes to a value stream: sends (12), joins the group from (13), and
-  // invokes `on_value` for every (14) until (15) closes the stream.
+  // invokes `on_value` for every (14) until (15) closes the stream.  When
+  // (13) never arrives within the deadline the subscription expires and
+  // `on_closed` fires — a stream request cannot leak.
   void StartStream(const Ip6Address& thing, DeviceTypeId device, uint32_t period_ms,
-                   StreamCallback on_value, StreamClosedCallback on_closed = nullptr);
-  void StopStream(const Ip6Address& thing, DeviceTypeId device);
+                   StreamCallback on_value, StreamClosedCallback on_closed = nullptr,
+                   const RequestOptions& options = RequestOptions{});
+  // Requests stream shutdown ((12) with period 0, answered by (15) to the
+  // group).  The local subscription is torn down exactly once — on the
+  // (15), or at the deadline if it never arrives — so a lost datagram
+  // cannot leak the subscription or the group membership.
+  void StopStream(const Ip6Address& thing, DeviceTypeId device,
+                  const RequestOptions& options = RequestOptions{});
 
   NetNode& node() { return *node_; }
+  ProtoEndpoint& endpoint() { return endpoint_; }
+  const ProtoEndpoint& endpoint() const { return endpoint_; }
   uint64_t advertisements_seen() const { return advertisements_seen_; }
 
  private:
-  struct PendingDiscovery {
-    std::vector<DiscoveredThing> results;
-    DiscoveryCallback callback;
-  };
-  struct PendingRead {
-    ReadCallback callback;
-    Scheduler::EventId timeout;
-  };
-  struct PendingWrite {
-    WriteCallback callback;
-    Scheduler::EventId timeout;
-  };
   struct StreamSub {
-    DeviceTypeId device = 0;
     Ip6Address group;
-    bool joined = false;
     StreamCallback on_value;
     StreamClosedCallback on_closed;
   };
 
+  // Removes the subscription for `device` (if any), leaves its group, and
+  // fires on_closed.
+  void CloseStream(DeviceTypeId device);
   void OnDatagram(const Ip6Address& src, const Ip6Address& dst, uint16_t port,
                   const std::vector<uint8_t>& payload);
 
-  Scheduler& scheduler_;
   NetNode* node_;
-  SequenceNumber sequence_ = 1;
-  std::map<SequenceNumber, PendingDiscovery> discoveries_;
-  std::map<SequenceNumber, PendingRead> reads_;
-  std::map<SequenceNumber, PendingWrite> writes_;
-  std::map<SequenceNumber, StreamSub> stream_requests_;  // awaiting (13)
-  std::map<DeviceTypeId, StreamSub> streams_;            // established
+  ProtoEndpoint endpoint_;
+  std::map<DeviceTypeId, StreamSub> streams_;  // established subscriptions
   AdvertisementListener advertisement_listener_;
   uint64_t advertisements_seen_ = 0;
 };

@@ -1,0 +1,290 @@
+#include "src/proto/endpoint.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace micropnp {
+
+namespace {
+
+// Pure reply types: these only ever exist as the answer to a request, so an
+// unmatched one is by definition stale (late, duplicated, or addressed to a
+// transaction that already completed).  Notification types (advertisements,
+// stream data/closed) are legitimately unsolicited and are not counted.
+bool IsPureReplyType(MessageType type) {
+  switch (type) {
+    case MessageType::kSolicitedAdvertisement:
+    case MessageType::kDriverUpload:
+    case MessageType::kDriverAdvertisement:
+    case MessageType::kDriverRemovalAck:
+    case MessageType::kData:
+    case MessageType::kStreamEstablished:
+    case MessageType::kWriteAck:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool Accepts(const std::vector<MessageType>& accepted, MessageType type) {
+  return std::find(accepted.begin(), accepted.end(), type) != accepted.end();
+}
+
+// All any-source transactions (anycast requests, multicast gathers) draw
+// sequences from one shared counter keyed by the unspecified address, so no
+// two of them are ever pending with the same sequence.
+const Ip6Address& AnySourceKey() {
+  static const Ip6Address kKey{};
+  return kKey;
+}
+
+}  // namespace
+
+ProtoEndpoint::ProtoEndpoint(Scheduler& scheduler, NetNode* node, size_t max_in_flight)
+    : scheduler_(scheduler), node_(node), max_in_flight_(max_in_flight) {}
+
+ProtoEndpoint::~ProtoEndpoint() {
+  // Drop pending transactions without invoking handlers: during teardown the
+  // captured state may already be gone.  Live-session cancellation (which
+  // does complete handlers) is CancelAll().
+  for (auto& [id, entry] : pending_) {
+    scheduler_.Cancel(entry.timer);
+  }
+  for (auto& [id, gather] : gathers_) {
+    scheduler_.Cancel(gather.timer);
+  }
+}
+
+SequenceNumber ProtoEndpoint::AllocateSequence(const Ip6Address& peer) {
+  // The pending table is bounded far below 65536 entries, so a free
+  // sequence always exists; skipping pending ones guarantees a wrapped
+  // counter can never alias a transaction still in flight toward this peer.
+  for (int attempts = 0; attempts < 65536; ++attempts) {
+    const SequenceNumber seq = next_sequence_++;
+    if (by_key_.find({peer, seq}) == by_key_.end()) {
+      return seq;
+    }
+  }
+  return next_sequence_++;
+}
+
+ProtoEndpoint::RequestId ProtoEndpoint::SendRequest(const Ip6Address& peer, MessageType type,
+                                                    MessagePayload payload,
+                                                    std::vector<MessageType> accepted_replies,
+                                                    ResponseHandler handler,
+                                                    const RequestOptions& options) {
+  if (in_flight() >= max_in_flight_) {
+    ++counters_.rejected_capacity;
+    if (handler) {
+      handler(ResourceExhausted("endpoint pending table full"));
+    }
+    return kInvalidRequest;
+  }
+  const Ip6Address& key_peer = options.match_any_source ? AnySourceKey() : peer;
+  const SequenceNumber seq = AllocateSequence(key_peer);
+  const RequestId id = next_request_id_++;
+
+  PendingRequest entry;
+  entry.peer = peer;
+  entry.sequence = seq;
+  entry.accepted_replies = std::move(accepted_replies);
+  entry.handler = std::move(handler);
+  entry.wire = MakeMessage(type, seq, std::move(payload)).Serialize();
+  entry.options = options;
+  entry.deadline = scheduler_.now() + SimTime::FromMillis(options.deadline_ms);
+  entry.next_backoff_ms = options.initial_backoff_ms;
+  entry.retransmits_left = options.max_retransmits;
+
+  node_->SendUdp(peer, kMicroPnpUdpPort, entry.wire);
+  ++counters_.requests_started;
+
+  by_key_[{key_peer, seq}] = id;
+  pending_[id] = std::move(entry);
+  ArmTimer(id);
+  return id;
+}
+
+SequenceNumber ProtoEndpoint::SendOneWay(const Ip6Address& peer, MessageType type,
+                                         MessagePayload payload) {
+  const SequenceNumber seq = AllocateSequence(peer);
+  node_->SendUdp(peer, kMicroPnpUdpPort, MakeMessage(type, seq, std::move(payload)).Serialize());
+  return seq;
+}
+
+ProtoEndpoint::RequestId ProtoEndpoint::SendGather(const Ip6Address& group, MessageType type,
+                                                   MessagePayload payload,
+                                                   std::vector<MessageType> accepted_replies,
+                                                   double window_ms, GatherHandler handler) {
+  if (in_flight() >= max_in_flight_) {
+    ++counters_.rejected_capacity;
+    if (handler) {
+      handler(ResourceExhausted("endpoint pending table full"));
+    }
+    return kInvalidRequest;
+  }
+  const SequenceNumber seq = AllocateSequence(AnySourceKey());
+  const RequestId id = next_request_id_++;
+
+  PendingGather gather;
+  gather.group = group;
+  gather.sequence = seq;
+  gather.accepted_replies = std::move(accepted_replies);
+  gather.handler = std::move(handler);
+
+  node_->SendUdp(group, kMicroPnpUdpPort, MakeMessage(type, seq, std::move(payload)).Serialize());
+  ++counters_.requests_started;
+
+  by_key_[{AnySourceKey(), seq}] = id;
+  gather.timer = scheduler_.ScheduleAfter(SimTime::FromMillis(window_ms), [this, id] {
+    auto it = gathers_.find(id);
+    if (it == gathers_.end()) {
+      return;
+    }
+    PendingGather done = std::move(it->second);
+    by_key_.erase({AnySourceKey(), done.sequence});
+    gathers_.erase(it);
+    ++counters_.completed_ok;
+    if (done.handler) {
+      done.handler(std::move(done.replies));
+    }
+  });
+  gathers_[id] = std::move(gather);
+  return id;
+}
+
+void ProtoEndpoint::ArmTimer(RequestId id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) {
+    return;
+  }
+  PendingRequest& entry = it->second;
+  SimTime next = entry.deadline;
+  if (entry.retransmits_left > 0) {
+    const SimTime retransmit_at = scheduler_.now() + SimTime::FromMillis(entry.next_backoff_ms);
+    if (retransmit_at < next) {
+      next = retransmit_at;
+    }
+  }
+  entry.timer = scheduler_.ScheduleAt(next, [this, id] { OnTimer(id); });
+}
+
+void ProtoEndpoint::OnTimer(RequestId id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) {
+    return;
+  }
+  PendingRequest& entry = it->second;
+  if (scheduler_.now() >= entry.deadline) {
+    Complete(id, DeadlineExceeded(std::string("no reply from peer for ") +
+                                  MessageTypeName(static_cast<MessageType>(entry.wire[0]))));
+    return;
+  }
+  // Retransmit the stored wire bytes and back off.
+  node_->SendUdp(entry.peer, kMicroPnpUdpPort, entry.wire);
+  ++counters_.retransmits;
+  --entry.retransmits_left;
+  entry.next_backoff_ms *= entry.options.backoff_multiplier;
+  ArmTimer(id);
+}
+
+void ProtoEndpoint::Complete(RequestId id, Result<Message> result) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) {
+    return;
+  }
+  PendingRequest entry = std::move(it->second);
+  scheduler_.Cancel(entry.timer);
+  const Ip6Address& key_peer = entry.options.match_any_source ? AnySourceKey() : entry.peer;
+  by_key_.erase({key_peer, entry.sequence});
+  pending_.erase(it);
+
+  if (result.ok()) {
+    ++counters_.completed_ok;
+  } else if (result.status().code() == StatusCode::kDeadlineExceeded) {
+    ++counters_.deadline_exceeded;
+  } else if (result.status().code() == StatusCode::kCancelled) {
+    ++counters_.cancelled;
+  }
+  if (entry.handler) {
+    entry.handler(std::move(result));
+  }
+}
+
+bool ProtoEndpoint::Cancel(RequestId id) {
+  if (pending_.count(id) != 0) {
+    Complete(id, CancelledError("request cancelled"));
+    return true;
+  }
+  auto g = gathers_.find(id);
+  if (g != gathers_.end()) {
+    PendingGather done = std::move(g->second);
+    scheduler_.Cancel(done.timer);
+    by_key_.erase({AnySourceKey(), done.sequence});
+    gathers_.erase(g);
+    ++counters_.cancelled;
+    if (done.handler) {
+      done.handler(CancelledError("gather cancelled"));
+    }
+    return true;
+  }
+  return false;
+}
+
+void ProtoEndpoint::CancelAll() {
+  // Snapshot first: a handler reacting to kCancelled may submit new
+  // requests, which must survive this sweep (and must not loop it forever).
+  std::vector<RequestId> ids;
+  ids.reserve(in_flight());
+  for (const auto& [id, entry] : pending_) {
+    ids.push_back(id);
+  }
+  for (const auto& [id, gather] : gathers_) {
+    ids.push_back(id);
+  }
+  for (RequestId id : ids) {
+    Cancel(id);
+  }
+}
+
+bool ProtoEndpoint::HandleReply(const Ip6Address& src, const Message& message) {
+  auto request_accepts = [&](const PendingRequest& entry) {
+    return Accepts(entry.accepted_replies, message.type) &&
+           (!entry.options.accept || entry.options.accept(message));
+  };
+  // Exact (peer, sequence) match for unicast transactions.
+  auto key = by_key_.find({src, message.sequence});
+  if (key != by_key_.end()) {
+    auto it = pending_.find(key->second);
+    if (it != pending_.end() && request_accepts(it->second)) {
+      ++counters_.replies_matched;
+      Complete(key->second, message);
+      return true;
+    }
+  }
+  // Any-source transactions (anycast requests, multicast gathers) are all
+  // indexed under the shared sentinel key.
+  auto any = by_key_.find({AnySourceKey(), message.sequence});
+  if (any != by_key_.end()) {
+    auto it = pending_.find(any->second);
+    if (it != pending_.end() && request_accepts(it->second)) {
+      ++counters_.replies_matched;
+      Complete(any->second, message);
+      return true;
+    }
+    auto g = gathers_.find(any->second);
+    if (g != gathers_.end() && Accepts(g->second.accepted_replies, message.type)) {
+      ++counters_.replies_matched;
+      g->second.replies.emplace_back(src, message);
+      return true;
+    }
+  }
+  if (IsPureReplyType(message.type)) {
+    ++counters_.stale_replies_dropped;
+    MLOG(kDebug, "endpoint") << "dropping stale " << MessageTypeName(message.type) << " seq "
+                             << message.sequence << " from " << src.ToString();
+  }
+  return false;
+}
+
+}  // namespace micropnp

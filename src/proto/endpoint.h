@@ -1,0 +1,186 @@
+// ProtoEndpoint: the shared request/response core of the μPnP interaction
+// protocol (Section 5.2).
+//
+// The paper matches requests to replies by the 16-bit sequence number every
+// message carries.  The seed reproduction hand-rolled that matching three
+// times (client, manager, Thing), each with its own pending map and its own
+// — or no — timeout handling.  This class centralizes the transaction
+// lifecycle so every remote operation completes exactly once with a
+// Result<Message>:
+//
+//  * per-peer sequence allocation (16-bit, wrapping; an allocation never
+//    collides with a transaction still pending toward the same peer);
+//  * a bounded pending table keyed by (peer, sequence), so stale replies —
+//    late, duplicated, or from a previous wrapped transaction — can never
+//    complete the wrong request;
+//  * a deadline per request (completion with kDeadlineExceeded);
+//  * bounded retransmit-with-backoff over the lossy fabric (the paper's
+//    Section 9 "unreliable network environments" future work);
+//  * cancellation (completion with kCancelled), and
+//  * counters for every drop/timeout/retransmit decision.
+//
+// Multicast fan-out requests (peripheral discovery's collect-replies-for-a-
+// window pattern) ride the same table via SendGather.
+
+#ifndef SRC_PROTO_ENDPOINT_H_
+#define SRC_PROTO_ENDPOINT_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "src/net/fabric.h"
+#include "src/proto/messages.h"
+
+namespace micropnp {
+
+// Per-request deadline and retransmission policy.
+struct RequestOptions {
+  // Absolute budget for the whole transaction, retransmissions included.
+  double deadline_ms = 2000.0;
+  // Extra sends beyond the initial one (0 = never retransmit).
+  int max_retransmits = 0;
+  // Delay before the first retransmission; doubles each time (capped by the
+  // deadline, which always wins).
+  double initial_backoff_ms = 250.0;
+  double backoff_multiplier = 2.0;
+  // Accept the reply from any source address.  Required for requests sent
+  // to an anycast or multicast destination, where the replier's unicast
+  // address differs from the destination the request was sent to.
+  bool match_any_source = false;
+  // Optional payload-level acceptance check, evaluated after source /
+  // sequence / type matching.  A reply it rejects does NOT complete the
+  // transaction (it is dropped as stale and retransmits continue) — use it
+  // when type + sequence alone cannot prove the reply answers this request,
+  // e.g. multicast (15)s or anycast uploads carrying a device id.
+  std::function<bool(const Message&)> accept;
+};
+
+// Monotonic counters of every transaction outcome and drop decision.
+struct EndpointCounters {
+  uint64_t requests_started = 0;
+  uint64_t completed_ok = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t cancelled = 0;
+  uint64_t retransmits = 0;
+  uint64_t rejected_capacity = 0;      // pending table full
+  uint64_t stale_replies_dropped = 0;  // no pending transaction matched
+  uint64_t replies_matched = 0;
+};
+
+class ProtoEndpoint {
+ public:
+  using RequestId = uint64_t;
+  inline static constexpr RequestId kInvalidRequest = 0;
+
+  // Exactly-once completion: a reply message, or kDeadlineExceeded /
+  // kCancelled / kResourceExhausted.
+  using ResponseHandler = std::function<void(Result<Message>)>;
+  // Gather completion: every (source, reply) observed within the window
+  // (possibly none), or kCancelled / kResourceExhausted.
+  using GatherReplies = std::vector<std::pair<Ip6Address, Message>>;
+  using GatherHandler = std::function<void(Result<GatherReplies>)>;
+
+  ProtoEndpoint(Scheduler& scheduler, NetNode* node, size_t max_in_flight = 64);
+  ~ProtoEndpoint();
+
+  ProtoEndpoint(const ProtoEndpoint&) = delete;
+  ProtoEndpoint& operator=(const ProtoEndpoint&) = delete;
+
+  // Allocates a sequence toward `peer`, sends `type`+`payload`, and arms the
+  // deadline/retransmit machinery.  `handler` is invoked exactly once: with
+  // the first reply whose type is in `accepted_replies` and whose
+  // (source, sequence) matches, or with an error Status.  When the pending
+  // table is full the handler fires immediately (same turn) with
+  // kResourceExhausted and kInvalidRequest is returned.
+  RequestId SendRequest(const Ip6Address& peer, MessageType type, MessagePayload payload,
+                        std::vector<MessageType> accepted_replies, ResponseHandler handler,
+                        const RequestOptions& options = RequestOptions{});
+
+  // Sends a message with a freshly allocated per-peer sequence and no
+  // transaction state: fire-and-forget notifications (advertisements,
+  // stream data) and requests whose effect is observed out-of-band (stream
+  // shutdown).  Returns the sequence used.
+  SequenceNumber SendOneWay(const Ip6Address& peer, MessageType type, MessagePayload payload);
+
+  // Multicast request collecting every matching reply for `window_ms`, then
+  // completing once with the collection (possibly empty).  Replies match on
+  // sequence + accepted type from any source.
+  RequestId SendGather(const Ip6Address& group, MessageType type, MessagePayload payload,
+                       std::vector<MessageType> accepted_replies, double window_ms,
+                       GatherHandler handler);
+
+  // Completes a pending request with kCancelled.  Returns false if the
+  // transaction already completed.
+  bool Cancel(RequestId id);
+  // Cancels every transaction currently pending (requests submitted by the
+  // handlers it invokes are left in flight).  Destruction does NOT run
+  // this: the destructor drops pending transactions without invoking their
+  // handlers, since the state they capture may already be torn down.
+  void CancelAll();
+
+  // Reply ingestion: the owner's datagram dispatcher hands every parsed
+  // message here first.  Returns true if a pending transaction consumed it.
+  // Unmatched messages of reply-looking types are counted as stale only
+  // when some transaction could plausibly have produced them (the type is
+  // awaited by nothing and the message is not a request type).
+  bool HandleReply(const Ip6Address& src, const Message& message);
+
+  size_t in_flight() const { return pending_.size() + gathers_.size(); }
+  size_t max_in_flight() const { return max_in_flight_; }
+  const EndpointCounters& counters() const { return counters_; }
+
+  // Test hook: forces the next sequence the shared counter hands out,
+  // making 16-bit wrap-around scenarios cheap to construct.
+  void SetNextSequenceForTest(SequenceNumber next) { next_sequence_ = next; }
+
+ private:
+  struct PendingRequest {
+    Ip6Address peer;
+    SequenceNumber sequence = 0;
+    std::vector<MessageType> accepted_replies;
+    ResponseHandler handler;
+    std::vector<uint8_t> wire;  // serialized request, for retransmission
+    RequestOptions options;
+    SimTime deadline;
+    double next_backoff_ms = 0.0;
+    int retransmits_left = 0;
+    Scheduler::EventId timer = 0;  // the armed retransmit-or-deadline event
+  };
+  struct PendingGather {
+    Ip6Address group;
+    SequenceNumber sequence = 0;
+    std::vector<MessageType> accepted_replies;
+    GatherHandler handler;
+    GatherReplies replies;
+    Scheduler::EventId timer = 0;
+  };
+
+  SequenceNumber AllocateSequence(const Ip6Address& peer);
+  void ArmTimer(RequestId id);
+  void OnTimer(RequestId id);
+  // Removes the entry and invokes its handler with `result`.
+  void Complete(RequestId id, Result<Message> result);
+
+  Scheduler& scheduler_;
+  NetNode* node_;
+  size_t max_in_flight_;
+  // One wrapping counter for all peers: per-(peer, sequence) uniqueness is
+  // enforced at allocation time against the pending table, so no per-peer
+  // state accumulates for peers ever contacted.
+  SequenceNumber next_sequence_ = 1;
+  std::map<RequestId, PendingRequest> pending_;
+  std::map<RequestId, PendingGather> gathers_;
+  // (peer, sequence) -> transaction, the matching index for incoming
+  // replies.  Gather entries index under (group, sequence) and additionally
+  // match any source.
+  std::map<std::pair<Ip6Address, SequenceNumber>, RequestId> by_key_;
+  RequestId next_request_id_ = 1;
+  EndpointCounters counters_;
+};
+
+}  // namespace micropnp
+
+#endif  // SRC_PROTO_ENDPOINT_H_

@@ -7,7 +7,7 @@
 namespace micropnp {
 
 MicroPnpManager::MicroPnpManager(Scheduler& scheduler, NetNode* node)
-    : scheduler_(scheduler), node_(node) {
+    : scheduler_(scheduler), node_(node), endpoint_(scheduler, node) {
   node_->BindAnycast(ManagerAnycastAddress());
   node_->BindUdp(kMicroPnpUdpPort,
                  [this](const Ip6Address& src, const Ip6Address& dst, uint16_t port,
@@ -37,66 +37,102 @@ Status MicroPnpManager::PreloadBundledDrivers() {
   return OkStatus();
 }
 
-void MicroPnpManager::DiscoverDrivers(const Ip6Address& thing, DriverListCallback callback) {
-  const SequenceNumber seq = sequence_++;
-  pending_discoveries_[seq] = std::move(callback);
-  Message m = MakeDeviceMessage(MessageType::kDriverDiscovery, seq, kDeviceTypeAllPeripherals);
-  node_->SendUdp(thing, kMicroPnpUdpPort, m.Serialize());
+void MicroPnpManager::DiscoverDrivers(const Ip6Address& thing, DriverListCallback callback,
+                                      const RequestOptions& options) {
+  endpoint_.SendRequest(
+      thing, MessageType::kDriverDiscovery, DeviceTargetPayload{kDeviceTypeAllPeripherals},
+      {MessageType::kDriverAdvertisement},
+      [callback = std::move(callback)](Result<Message> reply) {
+        if (!callback) {
+          return;
+        }
+        if (!reply.ok()) {
+          callback(reply.status());
+          return;
+        }
+        const auto* ad = reply->payload_as<DriverAdvertisementPayload>();
+        callback(ad != nullptr
+                     ? Result<std::vector<DeviceTypeId>>(ad->driver_ids)
+                     : Result<std::vector<DeviceTypeId>>(
+                           CorruptError("malformed driver advertisement")));
+      },
+      options);
 }
 
-void MicroPnpManager::RemoveDriver(const Ip6Address& thing, DeviceTypeId id,
-                                   AckCallback callback) {
-  const SequenceNumber seq = sequence_++;
-  pending_removals_[seq] = std::move(callback);
-  Message m = MakeDeviceMessage(MessageType::kDriverRemovalRequest, seq, id);
-  node_->SendUdp(thing, kMicroPnpUdpPort, m.Serialize());
+void MicroPnpManager::RemoveDriver(const Ip6Address& thing, DeviceTypeId id, AckCallback callback,
+                                   const RequestOptions& options) {
+  endpoint_.SendRequest(
+      thing, MessageType::kDriverRemovalRequest, DeviceTargetPayload{id},
+      {MessageType::kDriverRemovalAck},
+      [callback = std::move(callback)](Result<Message> reply) {
+        if (!callback) {
+          return;
+        }
+        if (!reply.ok()) {
+          callback(reply.status());
+          return;
+        }
+        const auto* ack = reply->payload_as<StatusAckPayload>();
+        if (ack == nullptr) {
+          callback(CorruptError("malformed removal ack"));
+          return;
+        }
+        callback(ack->status == 0 ? OkStatus() : InternalError("removal refused"));
+      },
+      options);
 }
 
 void MicroPnpManager::OnDatagram(const Ip6Address& src, const Ip6Address& /*dst*/,
                                  uint16_t /*port*/, const std::vector<uint8_t>& payload) {
   Result<Message> parsed = Message::Parse(ByteSpan(payload.data(), payload.size()));
   if (!parsed.ok()) {
+    MLOG(kDebug, "manager") << "dropping malformed datagram from " << src.ToString();
     return;
   }
   const Message& m = *parsed;
-  switch (m.type) {
-    case MessageType::kDriverInstallRequest: {
-      auto it = repository_.find(m.device_id);
-      if (it == repository_.end()) {
-        MLOG(kWarning, "manager") << "no driver in repository for "
-                                  << FormatDeviceTypeId(m.device_id);
-        return;
-      }
-      // (5) driver upload after the repository lookup.
-      Message upload = MakeDeviceMessage(MessageType::kDriverUpload, m.sequence, m.device_id);
-      upload.driver_image = it->second.Serialize();
-      scheduler_.ScheduleAfter(SimTime::FromMillis(lookup_cpu_ms_), [this, src, upload] {
-        node_->SendUdp(src, kMicroPnpUdpPort, upload.Serialize());
-        ++uploads_;
-      });
-      return;
-    }
-    case MessageType::kDriverAdvertisement: {
-      auto it = pending_discoveries_.find(m.sequence);
-      if (it != pending_discoveries_.end()) {
-        DriverListCallback callback = std::move(it->second);
-        pending_discoveries_.erase(it);
-        callback(m.driver_ids);
-      }
-      return;
-    }
-    case MessageType::kDriverRemovalAck: {
-      auto it = pending_removals_.find(m.sequence);
-      if (it != pending_removals_.end()) {
-        AckCallback callback = std::move(it->second);
-        pending_removals_.erase(it);
-        callback(m.status == 0 ? OkStatus() : InternalError("removal refused"));
-      }
-      return;
-    }
-    default:
-      return;
+  if (endpoint_.HandleReply(src, m)) {
+    return;
   }
+  if (m.type != MessageType::kDriverInstallRequest) {
+    return;
+  }
+  const auto* request = m.payload_as<DeviceTargetPayload>();
+  // A retransmitted copy of a (4) already answered (its (5) was lost or is
+  // still in flight): re-serve the cached bytes, don't recount.  The device
+  // check keeps a peer whose sequence counter restarted from being handed a
+  // stale entry for a different device.
+  for (const ServedUpload& served : recent_uploads_) {
+    if (served.thing == src && served.sequence == m.sequence &&
+        served.device == request->device_id) {
+      ++upload_retransmissions_;
+      SendUploadAfterLookup(src, served.wire);
+      return;
+    }
+  }
+  auto it = repository_.find(request->device_id);
+  if (it == repository_.end()) {
+    MLOG(kWarning, "manager") << "no driver in repository for "
+                              << FormatDeviceTypeId(request->device_id);
+    return;
+  }
+  // (5) driver upload, echoing the request's sequence so the Thing's
+  // endpoint can match it.
+  Message upload = MakeMessage(MessageType::kDriverUpload, m.sequence,
+                               DriverUploadPayload{request->device_id, it->second.Serialize()});
+  std::vector<uint8_t> wire = upload.Serialize();
+  recent_uploads_.push_back(ServedUpload{src, m.sequence, request->device_id, wire});
+  if (recent_uploads_.size() > 64) {
+    recent_uploads_.pop_front();
+  }
+  ++uploads_;
+  SendUploadAfterLookup(src, std::move(wire));
+}
+
+void MicroPnpManager::SendUploadAfterLookup(const Ip6Address& thing, std::vector<uint8_t> wire) {
+  scheduler_.ScheduleAfter(SimTime::FromMillis(lookup_cpu_ms_),
+                           [this, thing, wire = std::move(wire)] {
+                             node_->SendUdp(thing, kMicroPnpUdpPort, wire);
+                           });
 }
 
 }  // namespace micropnp

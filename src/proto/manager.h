@@ -5,16 +5,24 @@
 // and remote configuration of device drivers on µPnP Things."  It answers
 // driver installation requests (4) with uploads (5) and can remotely
 // discover (6)/(7) and remove (8)/(9) drivers.
+//
+// Remote operations ride the shared ProtoEndpoint: DiscoverDrivers and
+// RemoveDriver complete exactly once — with the Thing's answer or with
+// kDeadlineExceeded when the Thing is unreachable (the seed leaked a
+// pending-table entry forever in that case).
 
 #ifndef SRC_PROTO_MANAGER_H_
 #define SRC_PROTO_MANAGER_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
+#include <vector>
 
 #include "src/dsl/driver_image.h"
 #include "src/net/fabric.h"
+#include "src/proto/endpoint.h"
 #include "src/proto/messages.h"
 
 namespace micropnp {
@@ -33,25 +41,41 @@ class MicroPnpManager {
   size_t repository_size() const { return repository_.size(); }
 
   // --- remote driver management (Figure 11 messages 6..9) -------------------
-  using DriverListCallback = std::function<void(std::vector<DeviceTypeId>)>;
-  void DiscoverDrivers(const Ip6Address& thing, DriverListCallback callback);
+  using DriverListCallback = std::function<void(Result<std::vector<DeviceTypeId>>)>;
+  void DiscoverDrivers(const Ip6Address& thing, DriverListCallback callback,
+                       const RequestOptions& options = RequestOptions{});
   using AckCallback = std::function<void(Status)>;
-  void RemoveDriver(const Ip6Address& thing, DeviceTypeId id, AckCallback callback);
+  void RemoveDriver(const Ip6Address& thing, DeviceTypeId id, AckCallback callback,
+                    const RequestOptions& options = RequestOptions{});
 
   NetNode& node() { return *node_; }
+  ProtoEndpoint& endpoint() { return endpoint_; }
+  const ProtoEndpoint& endpoint() const { return endpoint_; }
+  // Distinct install transactions served; retransmitted copies of a (4)
+  // already answered are re-served from cache and counted separately.
   uint64_t uploads() const { return uploads_; }
+  uint64_t upload_retransmissions() const { return upload_retransmissions_; }
 
  private:
   void OnDatagram(const Ip6Address& src, const Ip6Address& dst, uint16_t port,
                   const std::vector<uint8_t>& payload);
+  void SendUploadAfterLookup(const Ip6Address& thing, std::vector<uint8_t> wire);
 
   Scheduler& scheduler_;
   NetNode* node_;
+  ProtoEndpoint endpoint_;
   std::map<DeviceTypeId, DriverImage> repository_;
-  std::map<SequenceNumber, DriverListCallback> pending_discoveries_;
-  std::map<SequenceNumber, AckCallback> pending_removals_;
-  SequenceNumber sequence_ = 1;
+  // Recently served (4)s, keyed by (thing, sequence), with the serialized
+  // (5) kept for cheap re-serve when the Thing retransmits.  Bounded FIFO.
+  struct ServedUpload {
+    Ip6Address thing;
+    SequenceNumber sequence = 0;
+    DeviceTypeId device = 0;
+    std::vector<uint8_t> wire;
+  };
+  std::deque<ServedUpload> recent_uploads_;
   uint64_t uploads_ = 0;
+  uint64_t upload_retransmissions_ = 0;
   // Repository lookup time on the server (milliseconds).
   double lookup_cpu_ms_ = 0.6;
 };

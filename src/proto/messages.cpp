@@ -1,5 +1,8 @@
 #include "src/proto/messages.h"
 
+#include <cassert>
+#include <type_traits>
+
 namespace micropnp {
 
 const Ip6Address& ManagerAnycastAddress() {
@@ -47,206 +50,354 @@ const char* MessageTypeName(MessageType type) {
   return "unknown";
 }
 
+// ------------------------------------------------------------- payloads ----
+// Length prefixes clamp the element count they describe AND the elements
+// written, so an oversized payload serializes to a well-formed (truncated)
+// datagram instead of one the receiver's trailing-bytes check rejects.
+
 namespace {
 
-void SerializeValue(ByteWriter& w, const WireValue& value) {
+template <typename T>
+size_t ClampedCount(const std::vector<T>& items, size_t limit) {
+  return items.size() < limit ? items.size() : limit;
+}
+
+}  // namespace
+
+void AdvertisementPayload::Serialize(ByteWriter& w) const {
+  const size_t count = ClampedCount(peripherals, 255);
+  w.WriteU8(static_cast<uint8_t>(count));
+  for (size_t i = 0; i < count; ++i) {
+    w.WriteU32(peripherals[i].type);
+    peripherals[i].info.Serialize(w);
+  }
+}
+
+Result<AdvertisementPayload> AdvertisementPayload::Parse(ByteReader& r) {
+  AdvertisementPayload out;
+  const uint8_t count = r.ReadU8();
+  for (uint8_t i = 0; i < count && r.ok(); ++i) {
+    AdvertisedPeripheral p;
+    p.type = r.ReadU32();
+    Result<TlvList> info = TlvList::Parse(r);
+    if (!info.ok()) {
+      return info.status();
+    }
+    p.info = std::move(*info);
+    out.peripherals.push_back(std::move(p));
+  }
+  if (!r.ok()) {
+    return CorruptError("truncated advertisement");
+  }
+  return out;
+}
+
+void PeripheralDiscoveryPayload::Serialize(ByteWriter& w) const { filters.Serialize(w); }
+
+Result<PeripheralDiscoveryPayload> PeripheralDiscoveryPayload::Parse(ByteReader& r) {
+  Result<TlvList> filters = TlvList::Parse(r);
+  if (!filters.ok()) {
+    return filters.status();
+  }
+  PeripheralDiscoveryPayload out;
+  out.filters = std::move(*filters);
+  return out;
+}
+
+void DeviceTargetPayload::Serialize(ByteWriter& w) const { w.WriteU32(device_id); }
+
+Result<DeviceTargetPayload> DeviceTargetPayload::Parse(ByteReader& r) {
+  DeviceTargetPayload out;
+  out.device_id = r.ReadU32();
+  if (!r.ok()) {
+    return CorruptError("truncated device target");
+  }
+  return out;
+}
+
+void DriverUploadPayload::Serialize(ByteWriter& w) const {
+  w.WriteU32(device_id);
+  const size_t len = ClampedCount(driver_image, 65535);
+  w.WriteU16(static_cast<uint16_t>(len));
+  w.WriteBytes(ByteSpan(driver_image.data(), len));
+}
+
+Result<DriverUploadPayload> DriverUploadPayload::Parse(ByteReader& r) {
+  DriverUploadPayload out;
+  out.device_id = r.ReadU32();
+  const uint16_t len = r.ReadU16();
+  out.driver_image = r.ReadBytes(len);
+  if (!r.ok()) {
+    return CorruptError("truncated driver upload");
+  }
+  return out;
+}
+
+void DriverAdvertisementPayload::Serialize(ByteWriter& w) const {
+  const size_t count = ClampedCount(driver_ids, 255);
+  w.WriteU8(static_cast<uint8_t>(count));
+  for (size_t i = 0; i < count; ++i) {
+    w.WriteU32(driver_ids[i]);
+  }
+}
+
+Result<DriverAdvertisementPayload> DriverAdvertisementPayload::Parse(ByteReader& r) {
+  DriverAdvertisementPayload out;
+  const uint8_t count = r.ReadU8();
+  for (uint8_t i = 0; i < count && r.ok(); ++i) {
+    out.driver_ids.push_back(r.ReadU32());
+  }
+  if (!r.ok()) {
+    return CorruptError("truncated driver advertisement");
+  }
+  return out;
+}
+
+void StatusAckPayload::Serialize(ByteWriter& w) const {
+  w.WriteU32(device_id);
+  w.WriteU8(status);
+}
+
+Result<StatusAckPayload> StatusAckPayload::Parse(ByteReader& r) {
+  StatusAckPayload out;
+  out.device_id = r.ReadU32();
+  out.status = r.ReadU8();
+  if (!r.ok()) {
+    return CorruptError("truncated ack");
+  }
+  return out;
+}
+
+void ValuePayload::Serialize(ByteWriter& w) const {
+  w.WriteU32(device_id);
   w.WriteU8(value.is_array ? 1 : 0);
   if (value.is_array) {
-    w.WriteU8(static_cast<uint8_t>(value.bytes.size()));
-    w.WriteBytes(ByteSpan(value.bytes.data(), value.bytes.size()));
+    const size_t len = ClampedCount(value.bytes, 255);
+    w.WriteU8(static_cast<uint8_t>(len));
+    w.WriteBytes(ByteSpan(value.bytes.data(), len));
   } else {
     w.WriteI32(value.scalar);
   }
 }
 
-Result<WireValue> ParseValue(ByteReader& r) {
-  WireValue value;
-  value.is_array = (r.ReadU8() != 0);
-  if (value.is_array) {
+Result<ValuePayload> ValuePayload::Parse(ByteReader& r) {
+  ValuePayload out;
+  out.device_id = r.ReadU32();
+  out.value.is_array = (r.ReadU8() != 0);
+  if (out.value.is_array) {
     const uint8_t len = r.ReadU8();
-    value.bytes = r.ReadBytes(len);
+    out.value.bytes = r.ReadBytes(len);
   } else {
-    value.scalar = r.ReadI32();
+    out.value.scalar = r.ReadI32();
   }
   if (!r.ok()) {
     return CorruptError("truncated value");
   }
-  return value;
+  return out;
+}
+
+void StreamRequestPayload::Serialize(ByteWriter& w) const {
+  w.WriteU32(device_id);
+  w.WriteU32(period_ms);
+}
+
+Result<StreamRequestPayload> StreamRequestPayload::Parse(ByteReader& r) {
+  StreamRequestPayload out;
+  out.device_id = r.ReadU32();
+  out.period_ms = r.ReadU32();
+  if (!r.ok()) {
+    return CorruptError("truncated stream request");
+  }
+  return out;
+}
+
+void StreamEstablishedPayload::Serialize(ByteWriter& w) const {
+  w.WriteU32(device_id);
+  w.WriteBytes(ByteSpan(group.bytes().data(), 16));
+}
+
+Result<StreamEstablishedPayload> StreamEstablishedPayload::Parse(ByteReader& r) {
+  StreamEstablishedPayload out;
+  out.device_id = r.ReadU32();
+  std::vector<uint8_t> raw = r.ReadBytes(16);
+  if (!r.ok() || raw.size() != 16) {
+    return CorruptError("truncated stream group");
+  }
+  std::array<uint8_t, 16> arr{};
+  std::copy(raw.begin(), raw.end(), arr.begin());
+  out.group = Ip6Address(arr);
+  return out;
+}
+
+void WritePayload::Serialize(ByteWriter& w) const {
+  w.WriteU32(device_id);
+  w.WriteI32(value);
+}
+
+Result<WritePayload> WritePayload::Parse(ByteReader& r) {
+  WritePayload out;
+  out.device_id = r.ReadU32();
+  out.value = r.ReadI32();
+  if (!r.ok()) {
+    return CorruptError("truncated write");
+  }
+  return out;
+}
+
+// -------------------------------------------------------------- message ----
+
+namespace {
+
+// The variant alternative index that each wire type carries, resolved at
+// compile time (no payload object is constructed).
+template <typename T, typename Variant>
+struct AlternativeIndexImpl;
+template <typename T, typename... Ts>
+struct AlternativeIndexImpl<T, std::variant<Ts...>> {
+  static constexpr size_t value = [] {
+    size_t index = 0;
+    const bool found = ((std::is_same_v<T, Ts> ? true : (++index, false)) || ...);
+    return found ? index : std::variant_npos;
+  }();
+};
+template <typename T>
+constexpr size_t AlternativeIndex() {
+  return AlternativeIndexImpl<T, MessagePayload>::value;
+}
+
+size_t ExpectedAlternative(MessageType type) {
+  switch (type) {
+    case MessageType::kUnsolicitedAdvertisement:
+    case MessageType::kSolicitedAdvertisement:
+      return AlternativeIndex<AdvertisementPayload>();
+    case MessageType::kPeripheralDiscovery:
+      return AlternativeIndex<PeripheralDiscoveryPayload>();
+    case MessageType::kDriverInstallRequest:
+    case MessageType::kDriverDiscovery:
+    case MessageType::kDriverRemovalRequest:
+    case MessageType::kRead:
+    case MessageType::kStreamClosed:
+      return AlternativeIndex<DeviceTargetPayload>();
+    case MessageType::kDriverUpload:
+      return AlternativeIndex<DriverUploadPayload>();
+    case MessageType::kDriverAdvertisement:
+      return AlternativeIndex<DriverAdvertisementPayload>();
+    case MessageType::kDriverRemovalAck:
+    case MessageType::kWriteAck:
+      return AlternativeIndex<StatusAckPayload>();
+    case MessageType::kData:
+    case MessageType::kStreamData:
+      return AlternativeIndex<ValuePayload>();
+    case MessageType::kStream:
+      return AlternativeIndex<StreamRequestPayload>();
+    case MessageType::kStreamEstablished:
+      return AlternativeIndex<StreamEstablishedPayload>();
+    case MessageType::kWrite:
+      return AlternativeIndex<WritePayload>();
+  }
+  return std::variant_npos;
+}
+
+Result<MessagePayload> ParsePayload(MessageType type, ByteReader& r) {
+  // Adapts each typed Parse into the common variant result.
+  auto lift = [](auto parsed) -> Result<MessagePayload> {
+    if (!parsed.ok()) {
+      return parsed.status();
+    }
+    return MessagePayload(std::move(*parsed));
+  };
+  switch (type) {
+    case MessageType::kUnsolicitedAdvertisement:
+    case MessageType::kSolicitedAdvertisement:
+      return lift(AdvertisementPayload::Parse(r));
+    case MessageType::kPeripheralDiscovery:
+      return lift(PeripheralDiscoveryPayload::Parse(r));
+    case MessageType::kDriverInstallRequest:
+    case MessageType::kDriverDiscovery:
+    case MessageType::kDriverRemovalRequest:
+    case MessageType::kRead:
+    case MessageType::kStreamClosed:
+      return lift(DeviceTargetPayload::Parse(r));
+    case MessageType::kDriverUpload:
+      return lift(DriverUploadPayload::Parse(r));
+    case MessageType::kDriverAdvertisement:
+      return lift(DriverAdvertisementPayload::Parse(r));
+    case MessageType::kDriverRemovalAck:
+    case MessageType::kWriteAck:
+      return lift(StatusAckPayload::Parse(r));
+    case MessageType::kData:
+    case MessageType::kStreamData:
+      return lift(ValuePayload::Parse(r));
+    case MessageType::kStream:
+      return lift(StreamRequestPayload::Parse(r));
+    case MessageType::kStreamEstablished:
+      return lift(StreamEstablishedPayload::Parse(r));
+    case MessageType::kWrite:
+      return lift(WritePayload::Parse(r));
+  }
+  return CorruptError("unknown message type");
 }
 
 }  // namespace
 
+bool PayloadMatchesType(MessageType type, const MessagePayload& payload) {
+  return payload.index() == ExpectedAlternative(type);
+}
+
 std::vector<uint8_t> Message::Serialize() const {
+  assert(PayloadMatchesType(type, payload) && "message payload does not match wire type");
   ByteWriter w;
   w.WriteU8(static_cast<uint8_t>(type));
   w.WriteU16(sequence);
-  switch (type) {
-    case MessageType::kUnsolicitedAdvertisement:
-    case MessageType::kSolicitedAdvertisement:
-      w.WriteU8(static_cast<uint8_t>(peripherals.size()));
-      for (const AdvertisedPeripheral& p : peripherals) {
-        w.WriteU32(p.type);
-        p.info.Serialize(w);
-      }
-      break;
-    case MessageType::kPeripheralDiscovery:
-      filters.Serialize(w);
-      break;
-    case MessageType::kDriverInstallRequest:
-    case MessageType::kDriverRemovalRequest:
-    case MessageType::kDriverDiscovery:
-    case MessageType::kRead:
-      w.WriteU32(device_id);
-      break;
-    case MessageType::kDriverUpload:
-      w.WriteU32(device_id);
-      w.WriteU16(static_cast<uint16_t>(driver_image.size()));
-      w.WriteBytes(ByteSpan(driver_image.data(), driver_image.size()));
-      break;
-    case MessageType::kDriverAdvertisement:
-      w.WriteU8(static_cast<uint8_t>(driver_ids.size()));
-      for (DeviceTypeId id : driver_ids) {
-        w.WriteU32(id);
-      }
-      break;
-    case MessageType::kDriverRemovalAck:
-    case MessageType::kWriteAck:
-      w.WriteU32(device_id);
-      w.WriteU8(status);
-      break;
-    case MessageType::kData:
-    case MessageType::kStreamData:
-      w.WriteU32(device_id);
-      SerializeValue(w, value);
-      break;
-    case MessageType::kStream:
-      w.WriteU32(device_id);
-      w.WriteU32(stream_period_ms);
-      break;
-    case MessageType::kStreamEstablished:
-      w.WriteU32(device_id);
-      w.WriteBytes(ByteSpan(stream_group.bytes().data(), 16));
-      break;
-    case MessageType::kStreamClosed:
-      w.WriteU32(device_id);
-      break;
-    case MessageType::kWrite:
-      w.WriteU32(device_id);
-      w.WriteI32(write_value);
-      break;
+  if (PayloadMatchesType(type, payload)) {
+    std::visit([&w](const auto& p) { p.Serialize(w); }, payload);
   }
   return w.Take();
 }
 
 Result<Message> Message::Parse(ByteSpan bytes) {
   ByteReader r(bytes);
-  Message m;
   const uint8_t raw_type = r.ReadU8();
+  const SequenceNumber sequence = r.ReadU16();
+  if (!r.ok()) {
+    return CorruptError("truncated message header");
+  }
   if (raw_type < 1 || raw_type > 17) {
     return CorruptError("unknown message type");
   }
+  Message m;
   m.type = static_cast<MessageType>(raw_type);
-  m.sequence = r.ReadU16();
-
-  switch (m.type) {
-    case MessageType::kUnsolicitedAdvertisement:
-    case MessageType::kSolicitedAdvertisement: {
-      const uint8_t count = r.ReadU8();
-      for (uint8_t i = 0; i < count; ++i) {
-        AdvertisedPeripheral p;
-        p.type = r.ReadU32();
-        Result<TlvList> info = TlvList::Parse(r);
-        if (!info.ok()) {
-          return info.status();
-        }
-        p.info = std::move(*info);
-        m.peripherals.push_back(std::move(p));
-      }
-      break;
-    }
-    case MessageType::kPeripheralDiscovery: {
-      Result<TlvList> filters = TlvList::Parse(r);
-      if (!filters.ok()) {
-        return filters.status();
-      }
-      m.filters = std::move(*filters);
-      break;
-    }
-    case MessageType::kDriverInstallRequest:
-    case MessageType::kDriverRemovalRequest:
-    case MessageType::kDriverDiscovery:
-    case MessageType::kRead:
-    case MessageType::kStreamClosed:
-      m.device_id = r.ReadU32();
-      break;
-    case MessageType::kDriverUpload: {
-      m.device_id = r.ReadU32();
-      const uint16_t len = r.ReadU16();
-      m.driver_image = r.ReadBytes(len);
-      break;
-    }
-    case MessageType::kDriverAdvertisement: {
-      const uint8_t count = r.ReadU8();
-      for (uint8_t i = 0; i < count; ++i) {
-        m.driver_ids.push_back(r.ReadU32());
-      }
-      break;
-    }
-    case MessageType::kDriverRemovalAck:
-    case MessageType::kWriteAck:
-      m.device_id = r.ReadU32();
-      m.status = r.ReadU8();
-      break;
-    case MessageType::kData:
-    case MessageType::kStreamData: {
-      m.device_id = r.ReadU32();
-      Result<WireValue> value = ParseValue(r);
-      if (!value.ok()) {
-        return value.status();
-      }
-      m.value = std::move(*value);
-      break;
-    }
-    case MessageType::kStream:
-      m.device_id = r.ReadU32();
-      m.stream_period_ms = r.ReadU32();
-      break;
-    case MessageType::kStreamEstablished: {
-      m.device_id = r.ReadU32();
-      std::vector<uint8_t> raw = r.ReadBytes(16);
-      if (raw.size() == 16) {
-        std::array<uint8_t, 16> arr{};
-        std::copy(raw.begin(), raw.end(), arr.begin());
-        m.stream_group = Ip6Address(arr);
-      }
-      break;
-    }
-    case MessageType::kWrite:
-      m.device_id = r.ReadU32();
-      m.write_value = r.ReadI32();
-      break;
+  m.sequence = sequence;
+  Result<MessagePayload> payload = ParsePayload(m.type, r);
+  if (!payload.ok()) {
+    return payload.status();
   }
+  m.payload = std::move(*payload);
   if (!r.ok()) {
     return CorruptError("truncated message");
   }
+  if (r.remaining() != 0) {
+    return CorruptError("trailing bytes after payload");
+  }
+  return m;
+}
+
+Message MakeMessage(MessageType type, SequenceNumber seq, MessagePayload payload) {
+  assert(PayloadMatchesType(type, payload) && "message payload does not match wire type");
+  Message m;
+  m.type = type;
+  m.sequence = seq;
+  m.payload = std::move(payload);
   return m;
 }
 
 Message MakeAdvertisement(MessageType type, SequenceNumber seq,
                           std::vector<AdvertisedPeripheral> peripherals) {
-  Message m;
-  m.type = type;
-  m.sequence = seq;
-  m.peripherals = std::move(peripherals);
-  return m;
+  return MakeMessage(type, seq, AdvertisementPayload{std::move(peripherals)});
 }
 
 Message MakeDeviceMessage(MessageType type, SequenceNumber seq, DeviceTypeId device) {
-  Message m;
-  m.type = type;
-  m.sequence = seq;
-  m.device_id = device;
-  return m;
+  return MakeMessage(type, seq, DeviceTargetPayload{device});
 }
 
 }  // namespace micropnp

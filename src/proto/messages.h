@@ -6,12 +6,20 @@
 // (1)..(17) annotations exactly.
 //
 // Wire format: u8 type | u16 sequence | type-specific payload (big-endian).
+//
+// Each of the paper's message shapes is a distinct payload struct with its
+// own Serialize/Parse round trip; a Message is the (type, sequence) header
+// plus a std::variant over those shapes.  Several wire types share a shape —
+// e.g. (4)(6)(8)(10)(15) all carry just a device id — so the header type
+// stays explicit and Parse/Serialize enforce that it matches the payload
+// alternative.
 
 #ifndef SRC_PROTO_MESSAGES_H_
 #define SRC_PROTO_MESSAGES_H_
 
 #include <cstdint>
 #include <optional>
+#include <variant>
 #include <vector>
 
 #include "src/common/bytes.h"
@@ -68,40 +76,153 @@ struct WireValue {
   bool operator==(const WireValue&) const = default;
 };
 
-struct Message {
-  MessageType type = MessageType::kRead;
-  SequenceNumber sequence = 0;
+// --------------------------------------------------------------------------
+// Typed payloads, one struct per wire shape.  Each serializes into / parses
+// out of the bytes that follow the u8 type + u16 sequence header.
 
-  // (1)(3) advertisement payload.
+// (1) unsolicited and (3) solicited advertisements.
+struct AdvertisementPayload {
   std::vector<AdvertisedPeripheral> peripherals;
-  // (2) discovery filters.
-  TlvList filters;
-  // (4)(5)(8)(9)(10)..(17): the peripheral the operation targets.
-  DeviceTypeId device_id = 0;
-  // (5) driver upload: serialized DriverImage.
-  std::vector<uint8_t> driver_image;
-  // (7) driver advertisement: installed driver ids.
-  std::vector<DeviceTypeId> driver_ids;
-  // (9)(17) status: 0 = ok.
-  uint8_t status = 0;
-  // (11)(14) value payload.
-  WireValue value;
-  // (12) stream period in ms; 0 requests stream shutdown.
-  uint32_t stream_period_ms = 0;
-  // (13) stream group to join.
-  Ip6Address stream_group;
-  // (16) write value.
-  int32_t write_value = 0;
 
+  void Serialize(ByteWriter& w) const;
+  static Result<AdvertisementPayload> Parse(ByteReader& r);
+  bool operator==(const AdvertisementPayload&) const = default;
+};
+
+// (2) peripheral discovery: TLV filters (the destination group selects the
+// wanted device type).
+struct PeripheralDiscoveryPayload {
+  TlvList filters;
+
+  void Serialize(ByteWriter& w) const;
+  static Result<PeripheralDiscoveryPayload> Parse(ByteReader& r);
+  bool operator==(const PeripheralDiscoveryPayload&) const = default;
+};
+
+// (4) driver install request, (6) driver discovery, (8) driver removal
+// request, (10) read, (15) stream closed: the target device type alone.
+struct DeviceTargetPayload {
+  DeviceTypeId device_id = 0;
+
+  void Serialize(ByteWriter& w) const;
+  static Result<DeviceTargetPayload> Parse(ByteReader& r);
+  bool operator==(const DeviceTargetPayload&) const = default;
+};
+
+// (5) driver upload: the serialized DriverImage for one device type.
+struct DriverUploadPayload {
+  DeviceTypeId device_id = 0;
+  std::vector<uint8_t> driver_image;
+
+  void Serialize(ByteWriter& w) const;
+  static Result<DriverUploadPayload> Parse(ByteReader& r);
+  bool operator==(const DriverUploadPayload&) const = default;
+};
+
+// (7) driver advertisement: the installed driver ids.
+struct DriverAdvertisementPayload {
+  std::vector<DeviceTypeId> driver_ids;
+
+  void Serialize(ByteWriter& w) const;
+  static Result<DriverAdvertisementPayload> Parse(ByteReader& r);
+  bool operator==(const DriverAdvertisementPayload&) const = default;
+};
+
+// (9) driver removal ack and (17) write ack: device + status (0 = ok).
+struct StatusAckPayload {
+  DeviceTypeId device_id = 0;
+  uint8_t status = 0;
+
+  void Serialize(ByteWriter& w) const;
+  static Result<StatusAckPayload> Parse(ByteReader& r);
+  bool operator==(const StatusAckPayload&) const = default;
+};
+
+// (11) data and (14) stream data: a produced value.
+struct ValuePayload {
+  DeviceTypeId device_id = 0;
+  WireValue value;
+
+  void Serialize(ByteWriter& w) const;
+  static Result<ValuePayload> Parse(ByteReader& r);
+  bool operator==(const ValuePayload&) const = default;
+};
+
+// (12) stream request: period in ms; 0 requests stream shutdown.
+struct StreamRequestPayload {
+  DeviceTypeId device_id = 0;
+  uint32_t period_ms = 0;
+
+  void Serialize(ByteWriter& w) const;
+  static Result<StreamRequestPayload> Parse(ByteReader& r);
+  bool operator==(const StreamRequestPayload&) const = default;
+};
+
+// (13) stream established: the multicast group carrying the values.
+struct StreamEstablishedPayload {
+  DeviceTypeId device_id = 0;
+  Ip6Address group;
+
+  void Serialize(ByteWriter& w) const;
+  static Result<StreamEstablishedPayload> Parse(ByteReader& r);
+  bool operator==(const StreamEstablishedPayload&) const = default;
+};
+
+// (16) write: the value to establish.
+struct WritePayload {
+  DeviceTypeId device_id = 0;
+  int32_t value = 0;
+
+  void Serialize(ByteWriter& w) const;
+  static Result<WritePayload> Parse(ByteReader& r);
+  bool operator==(const WritePayload&) const = default;
+};
+
+using MessagePayload =
+    std::variant<AdvertisementPayload, PeripheralDiscoveryPayload, DeviceTargetPayload,
+                 DriverUploadPayload, DriverAdvertisementPayload, StatusAckPayload, ValuePayload,
+                 StreamRequestPayload, StreamEstablishedPayload, WritePayload>;
+
+// True iff `payload` holds the variant alternative that wire type `type`
+// carries.
+bool PayloadMatchesType(MessageType type, const MessagePayload& payload);
+
+struct Message {
+  // Defaults are mutually consistent: the default-constructed payload holds
+  // the first variant alternative (AdvertisementPayload), which is what an
+  // unsolicited advertisement carries.
+  MessageType type = MessageType::kUnsolicitedAdvertisement;
+  SequenceNumber sequence = 0;
+  MessagePayload payload;
+
+  // Typed access; nullptr when the payload is a different shape.
+  template <typename T>
+  const T* payload_as() const {
+    return std::get_if<T>(&payload);
+  }
+  template <typename T>
+  T* payload_as() {
+    return std::get_if<T>(&payload);
+  }
+
+  // Serializes header + payload.  The payload alternative must match `type`
+  // (checked; a mismatched message serializes as an empty-payload header in
+  // release builds and asserts in debug builds).
   std::vector<uint8_t> Serialize() const;
+  // Parses and validates: unknown types, payload/type mismatches and
+  // truncated or trailing bytes are all parse errors, never crashes.
   static Result<Message> Parse(ByteSpan bytes);
 
   bool operator==(const Message&) const = default;
 };
 
+// Builds a message, asserting the payload shape matches the wire type.
+Message MakeMessage(MessageType type, SequenceNumber seq, MessagePayload payload);
+
 // Convenience constructors for the common shapes.
 Message MakeAdvertisement(MessageType type, SequenceNumber seq,
                           std::vector<AdvertisedPeripheral> peripherals);
+// For the five device-target-only types ((4)(6)(8)(10)(15)).
 Message MakeDeviceMessage(MessageType type, SequenceNumber seq, DeviceTypeId device);
 
 }  // namespace micropnp

@@ -12,7 +12,8 @@ MicroPnpThing::MicroPnpThing(Scheduler& scheduler, NetNode* node,
       config_(config),
       rng_(seed),
       driver_manager_(scheduler, router_),
-      controller_(scheduler, board_config, rng_) {
+      controller_(scheduler, board_config, rng_),
+      endpoint_(scheduler, node) {
   controller_.set_change_listener([this](ChannelId ch, DeviceTypeId id, bool connected) {
     OnPeripheralChange(ch, id, connected);
   });
@@ -75,10 +76,8 @@ void MicroPnpThing::OnPeripheralChange(ChannelId channel, DeviceTypeId id, bool 
     node_->LeaveGroup(PeripheralGroup(node_->prefix(), id));
     // Unsolicited advertisement reflecting the new peripheral set
     // (Section 5.2.1: generated on connect *or* disconnect).
-    scheduler_.ScheduleAfter(SimTime::FromMillis(Jitter(config_.advert_build_cpu_ms)), [this] {
-      SendAdvertisement(MessageType::kUnsolicitedAdvertisement,
-                        AllClientsGroup(node_->prefix()), NextSequence());
-    });
+    scheduler_.ScheduleAfter(SimTime::FromMillis(Jitter(config_.advert_build_cpu_ms)),
+                             [this] { SendUnsolicitedAdvertisement(); });
     return;
   }
 
@@ -118,29 +117,51 @@ void MicroPnpThing::ContinueFlowEnsureDriver(ChannelId channel, DeviceTypeId id)
     ActivateAndAdvertise(channel, id);
     return;
   }
-  // Step 3: request the driver from the manager's anycast address (4).
+  // Step 3: request the driver from the manager's anycast address (4).  The
+  // endpoint owns the transaction: the reply (5) comes from the manager's
+  // unicast address, hence match_any_source, and lossy links are covered by
+  // retransmit-with-backoff up to the deadline.
   scheduler_.ScheduleAfter(
       SimTime::FromMillis(Jitter(config_.request_build_cpu_ms)), [this, channel, id] {
-        awaiting_driver_[id] = channel;
-        Message request = MakeDeviceMessage(MessageType::kDriverInstallRequest, NextSequence(), id);
         if (last_flow_.has_value() && last_flow_->channel == channel) {
           last_flow_->driver_requested = scheduler_.now();
         }
-        node_->SendUdp(ManagerAnycastAddress(), kMicroPnpUdpPort, request.Serialize());
+        RequestOptions options;
+        options.deadline_ms = config_.driver_request_deadline_ms;
+        options.max_retransmits = config_.driver_request_retransmits;
+        options.initial_backoff_ms = config_.driver_request_backoff_ms;
+        options.match_any_source = true;
+        // A (5) for a different device (e.g. a stale manager-side cache
+        // entry) must not consume this transaction — drop it and keep
+        // retransmitting.
+        options.accept = [id](const Message& reply) {
+          const auto* upload = reply.payload_as<DriverUploadPayload>();
+          return upload != nullptr && upload->device_id == id;
+        };
+        endpoint_.SendRequest(
+            ManagerAnycastAddress(), MessageType::kDriverInstallRequest, DeviceTargetPayload{id},
+            {MessageType::kDriverUpload},
+            [this, channel, id](Result<Message> reply) {
+              OnDriverRequestComplete(channel, id, std::move(reply));
+            },
+            options);
       });
 }
 
-void MicroPnpThing::HandleDriverUpload(const Message& m) {
-  auto waiting = awaiting_driver_.find(m.device_id);
-  const ChannelId channel =
-      waiting != awaiting_driver_.end() ? waiting->second : kInvalidChannel;
-  if (waiting != awaiting_driver_.end()) {
-    awaiting_driver_.erase(waiting);
+void MicroPnpThing::OnDriverRequestComplete(ChannelId channel, DeviceTypeId id,
+                                            Result<Message> reply) {
+  if (!reply.ok()) {
+    ++driver_requests_failed_;
+    MLOG(kWarning, "thing") << "driver request for " << FormatDeviceTypeId(id)
+                            << " failed: " << reply.status().ToString();
+    return;
   }
+  // The accept predicate guarantees a matching device id here.
+  const auto* upload = reply->payload_as<DriverUploadPayload>();
   if (last_flow_.has_value() && last_flow_->channel == channel) {
     last_flow_->driver_received = scheduler_.now();
   }
-  InstallReceivedDriver(channel, m.device_id, m.driver_image);
+  InstallReceivedDriver(channel, id, upload->driver_image);
 }
 
 void MicroPnpThing::InstallReceivedDriver(ChannelId channel, DeviceTypeId id,
@@ -192,9 +213,7 @@ void MicroPnpThing::ActivateAndAdvertise(ChannelId channel, DeviceTypeId id) {
         // row 5, message (1) of Figure 10).
         scheduler_.ScheduleAfter(SimTime::FromMillis(Jitter(config_.advert_build_cpu_ms)),
                                  [this, channel] {
-                                   SendAdvertisement(MessageType::kUnsolicitedAdvertisement,
-                                                     AllClientsGroup(node_->prefix()),
-                                                     NextSequence());
+                                   SendUnsolicitedAdvertisement();
                                    if (last_flow_.has_value() && last_flow_->channel == channel) {
                                      last_flow_->advertised = scheduler_.now();
                                    }
@@ -202,10 +221,16 @@ void MicroPnpThing::ActivateAndAdvertise(ChannelId channel, DeviceTypeId id) {
       });
 }
 
-void MicroPnpThing::SendAdvertisement(MessageType type, const Ip6Address& destination,
-                                      SequenceNumber seq) {
-  Message m = MakeAdvertisement(type, seq, ConnectedPeripherals());
-  node_->SendUdp(destination, kMicroPnpUdpPort, m.Serialize());
+void MicroPnpThing::SendUnsolicitedAdvertisement() {
+  endpoint_.SendOneWay(AllClientsGroup(node_->prefix()), MessageType::kUnsolicitedAdvertisement,
+                       AdvertisementPayload{ConnectedPeripherals()});
+  ++advertisements_sent_;
+}
+
+void MicroPnpThing::SendSolicitedAdvertisement(const Ip6Address& client, SequenceNumber seq) {
+  // (3) echoes the discovery's sequence so the client's gather matches it.
+  Message m = MakeAdvertisement(MessageType::kSolicitedAdvertisement, seq, ConnectedPeripherals());
+  node_->SendUdp(client, kMicroPnpUdpPort, m.Serialize());
   ++advertisements_sent_;
 }
 
@@ -219,6 +244,9 @@ void MicroPnpThing::OnDatagram(const Ip6Address& src, const Ip6Address& dst, uin
     return;
   }
   const Message& m = *parsed;
+  if (endpoint_.HandleReply(src, m)) {
+    return;  // (5) driver uploads complete their endpoint transaction
+  }
   switch (m.type) {
     case MessageType::kPeripheralDiscovery:
       HandleDiscovery(src, m, dst);
@@ -231,9 +259,6 @@ void MicroPnpThing::OnDatagram(const Ip6Address& src, const Ip6Address& dst, uin
       break;
     case MessageType::kWrite:
       HandleWrite(src, m);
-      break;
-    case MessageType::kDriverUpload:
-      HandleDriverUpload(m);
       break;
     case MessageType::kDriverDiscovery:
       HandleDriverDiscovery(src, m);
@@ -265,23 +290,23 @@ void MicroPnpThing::HandleDiscovery(const Ip6Address& src, const Message& m,
   // (3) solicited advertisement, unicast back to the discovering client.
   scheduler_.ScheduleAfter(SimTime::FromMillis(Jitter(config_.advert_build_cpu_ms)),
                            [this, src, seq = m.sequence] {
-                             SendAdvertisement(MessageType::kSolicitedAdvertisement, src, seq);
+                             SendSolicitedAdvertisement(src, seq);
                            });
 }
 
 void MicroPnpThing::HandleRead(const Ip6Address& src, const Message& m) {
+  const auto* target = m.payload_as<DeviceTargetPayload>();
   // Locate the channel serving this device type.
   for (ChannelId ch = 0; ch < controller_.num_channels(); ++ch) {
-    if (controller_.identified(ch) == m.device_id &&
+    if (controller_.identified(ch) == target->device_id &&
         driver_manager_.HostForChannel(ch) != nullptr) {
       pending_reads_[ch].push_back(PendingRead{src, m.sequence});
       router_.Post(ch, Event::Of(kEventRead));
       return;
     }
   }
-  // No such peripheral: reply with an error status via a Data message with
-  // status semantics left to the client's timeout (the paper defines no
-  // negative response; we simply stay silent, as a real Thing would).
+  // No such peripheral: the paper defines no negative response; we simply
+  // stay silent, as a real Thing would, and the client's deadline fires.
 }
 
 void MicroPnpThing::OnProduced(ChannelId channel, const ProducedValue& value) {
@@ -301,8 +326,9 @@ void MicroPnpThing::OnProduced(ChannelId channel, const ProducedValue& value) {
     ++reads_served_;
     scheduler_.ScheduleAfter(
         SimTime::FromMillis(Jitter(config_.reply_build_cpu_ms)), [this, pending, id, wire] {
-          Message reply = MakeDeviceMessage(MessageType::kData, pending.sequence, *id);
-          reply.value = wire;
+          // (11) echoes the read's sequence.
+          Message reply =
+              MakeMessage(MessageType::kData, pending.sequence, ValuePayload{*id, wire});
           node_->SendUdp(pending.client, kMicroPnpUdpPort, reply.Serialize());
         });
     return;
@@ -312,38 +338,38 @@ void MicroPnpThing::OnProduced(ChannelId channel, const ProducedValue& value) {
     scheduler_.ScheduleAfter(
         SimTime::FromMillis(Jitter(config_.reply_build_cpu_ms)),
         [this, group = stream.group, id, wire] {
-          Message data = MakeDeviceMessage(MessageType::kStreamData, NextSequence(), *id);
-          data.value = wire;
-          node_->SendUdp(group, kMicroPnpUdpPort, data.Serialize());
+          endpoint_.SendOneWay(group, MessageType::kStreamData, ValuePayload{*id, wire});
         });
   }
 }
 
 void MicroPnpThing::HandleStream(const Ip6Address& src, const Message& m) {
+  const auto* request = m.payload_as<StreamRequestPayload>();
   for (ChannelId ch = 0; ch < controller_.num_channels(); ++ch) {
-    if (controller_.identified(ch) != m.device_id ||
+    if (controller_.identified(ch) != request->device_id ||
         driver_manager_.HostForChannel(ch) == nullptr) {
       continue;
     }
     StreamState& stream = streams_[ch];
-    if (m.stream_period_ms == 0) {
+    if (request->period_ms == 0) {
       // Stream shutdown: notify the group with (15) closed.
       if (stream.active) {
         stream.active = false;
         ++stream.generation;
-        Message closed = MakeDeviceMessage(MessageType::kStreamClosed, m.sequence, m.device_id);
+        Message closed = MakeDeviceMessage(MessageType::kStreamClosed, m.sequence,
+                                           request->device_id);
         node_->SendUdp(stream.group, kMicroPnpUdpPort, closed.Serialize());
       }
       return;
     }
     stream.active = true;
-    stream.period_ms = m.stream_period_ms;
-    stream.group = PeripheralGroup(node_->prefix(), m.device_id);
+    stream.period_ms = request->period_ms;
+    stream.group = PeripheralGroup(node_->prefix(), request->device_id);
     const uint64_t generation = ++stream.generation;
     // (13) established: tell the client which group carries the values.
     Message established =
-        MakeDeviceMessage(MessageType::kStreamEstablished, m.sequence, m.device_id);
-    established.stream_group = stream.group;
+        MakeMessage(MessageType::kStreamEstablished, m.sequence,
+                    StreamEstablishedPayload{request->device_id, stream.group});
     node_->SendUdp(src, kMicroPnpUdpPort, established.Serialize());
     // Periodic reads drive (14) data messages.
     scheduler_.ScheduleAfter(SimTime::FromMillis(stream.period_ms),
@@ -363,31 +389,30 @@ void MicroPnpThing::StreamTick(ChannelId channel, uint64_t generation) {
 }
 
 void MicroPnpThing::HandleWrite(const Ip6Address& src, const Message& m) {
+  const auto* write = m.payload_as<WritePayload>();
   uint8_t status = 1;  // not found
   for (ChannelId ch = 0; ch < controller_.num_channels(); ++ch) {
-    if (controller_.identified(ch) == m.device_id &&
+    if (controller_.identified(ch) == write->device_id &&
         driver_manager_.HostForChannel(ch) != nullptr) {
-      router_.Post(ch, Event::Of(kEventWrite, m.write_value));
+      router_.Post(ch, Event::Of(kEventWrite, write->value));
       ++writes_served_;
       status = 0;
       break;
     }
   }
   // (17) acknowledgement confirming the establishment of the new value.
-  scheduler_.ScheduleAfter(SimTime::FromMillis(Jitter(config_.reply_build_cpu_ms)),
-                           [this, src, m, status] {
-                             Message ack = MakeDeviceMessage(MessageType::kWriteAck, m.sequence,
-                                                             m.device_id);
-                             ack.status = status;
-                             node_->SendUdp(src, kMicroPnpUdpPort, ack.Serialize());
-                           });
+  scheduler_.ScheduleAfter(
+      SimTime::FromMillis(Jitter(config_.reply_build_cpu_ms)),
+      [this, src, seq = m.sequence, device = write->device_id, status] {
+        Message ack =
+            MakeMessage(MessageType::kWriteAck, seq, StatusAckPayload{device, status});
+        node_->SendUdp(src, kMicroPnpUdpPort, ack.Serialize());
+      });
 }
 
 void MicroPnpThing::HandleDriverDiscovery(const Ip6Address& src, const Message& m) {
-  Message reply = Message{};
-  reply.type = MessageType::kDriverAdvertisement;
-  reply.sequence = m.sequence;
-  reply.driver_ids = driver_manager_.InstalledDrivers();
+  Message reply = MakeMessage(MessageType::kDriverAdvertisement, m.sequence,
+                              DriverAdvertisementPayload{driver_manager_.InstalledDrivers()});
   scheduler_.ScheduleAfter(SimTime::FromMillis(Jitter(config_.reply_build_cpu_ms)),
                            [this, src, reply] {
                              node_->SendUdp(src, kMicroPnpUdpPort, reply.Serialize());
@@ -395,9 +420,11 @@ void MicroPnpThing::HandleDriverDiscovery(const Ip6Address& src, const Message& 
 }
 
 void MicroPnpThing::HandleDriverRemoval(const Ip6Address& src, const Message& m) {
-  Status removed = driver_manager_.RemoveImage(m.device_id);
-  Message ack = MakeDeviceMessage(MessageType::kDriverRemovalAck, m.sequence, m.device_id);
-  ack.status = removed.ok() ? 0 : 1;
+  const auto* target = m.payload_as<DeviceTargetPayload>();
+  Status removed = driver_manager_.RemoveImage(target->device_id);
+  Message ack = MakeMessage(MessageType::kDriverRemovalAck, m.sequence,
+                            StatusAckPayload{target->device_id,
+                                             static_cast<uint8_t>(removed.ok() ? 0 : 1)});
   scheduler_.ScheduleAfter(SimTime::FromMillis(Jitter(config_.reply_build_cpu_ms)),
                            [this, src, ack] {
                              node_->SendUdp(src, kMicroPnpUdpPort, ack.Serialize());

@@ -12,6 +12,10 @@
 // and afterwards serves discovery (2)/(3), read (10)/(11), stream
 // (12)..(15) and write (16)/(17), plus the manager-facing driver operations
 // (5)..(9).
+//
+// The driver request (4) is a ProtoEndpoint transaction toward the Manager
+// anycast address: it retransmits with backoff over lossy links and
+// completes exactly once — with the (5) upload or with kDeadlineExceeded.
 
 #ifndef SRC_PROTO_THING_H_
 #define SRC_PROTO_THING_H_
@@ -21,6 +25,7 @@
 #include <map>
 
 #include "src/net/fabric.h"
+#include "src/proto/endpoint.h"
 #include "src/proto/messages.h"
 #include "src/rt/driver_manager.h"
 #include "src/rt/peripheral_controller.h"
@@ -40,6 +45,11 @@ struct ThingConfig {
   double advert_build_cpu_ms = 18.0;       // TLV serialization on the AVR
   double reply_build_cpu_ms = 6.0;         // read/data response construction
   double cpu_jitter_fraction = 0.012;
+  // Driver request (4) transaction policy toward the Manager anycast
+  // address: bounded retransmit-with-backoff, then give up.
+  double driver_request_deadline_ms = 15000.0;
+  int driver_request_retransmits = 5;
+  double driver_request_backoff_ms = 400.0;
 };
 
 // Simulation-time marks of the most recent plug-in flow (consumed by the
@@ -69,6 +79,8 @@ class MicroPnpThing {
   PeripheralController& controller() { return controller_; }
   DriverManager& drivers() { return driver_manager_; }
   NetNode& node() { return *node_; }
+  ProtoEndpoint& endpoint() { return endpoint_; }
+  const ProtoEndpoint& endpoint() const { return endpoint_; }
 
   // Pre-provisions a driver image locally (no over-the-air request needed).
   Status PreinstallDriver(const DriverImage& image);
@@ -78,6 +90,7 @@ class MicroPnpThing {
   uint64_t advertisements_sent() const { return advertisements_sent_; }
   uint64_t reads_served() const { return reads_served_; }
   uint64_t writes_served() const { return writes_served_; }
+  uint64_t driver_requests_failed() const { return driver_requests_failed_; }
 
  private:
   struct PendingRead {
@@ -95,9 +108,11 @@ class MicroPnpThing {
   void OnPeripheralChange(ChannelId channel, DeviceTypeId id, bool connected);
   void ContinueFlowJoinGroup(ChannelId channel, DeviceTypeId id);
   void ContinueFlowEnsureDriver(ChannelId channel, DeviceTypeId id);
+  void OnDriverRequestComplete(ChannelId channel, DeviceTypeId id, Result<Message> reply);
   void InstallReceivedDriver(ChannelId channel, DeviceTypeId id, std::vector<uint8_t> image);
   void ActivateAndAdvertise(ChannelId channel, DeviceTypeId id);
-  void SendAdvertisement(MessageType type, const Ip6Address& destination, SequenceNumber seq);
+  void SendUnsolicitedAdvertisement();
+  void SendSolicitedAdvertisement(const Ip6Address& client, SequenceNumber seq);
 
   // Message handling.
   void OnDatagram(const Ip6Address& src, const Ip6Address& dst, uint16_t port,
@@ -106,7 +121,6 @@ class MicroPnpThing {
   void HandleRead(const Ip6Address& src, const Message& m);
   void HandleStream(const Ip6Address& src, const Message& m);
   void HandleWrite(const Ip6Address& src, const Message& m);
-  void HandleDriverUpload(const Message& m);
   void HandleDriverDiscovery(const Ip6Address& src, const Message& m);
   void HandleDriverRemoval(const Ip6Address& src, const Message& m);
 
@@ -116,7 +130,6 @@ class MicroPnpThing {
 
   std::vector<AdvertisedPeripheral> ConnectedPeripherals() const;
   double Jitter(double nominal_ms);
-  SequenceNumber NextSequence() { return sequence_++; }
 
   Scheduler& scheduler_;
   NetNode* node_;
@@ -125,16 +138,15 @@ class MicroPnpThing {
   EventRouter router_;
   DriverManager driver_manager_;
   PeripheralController controller_;
+  ProtoEndpoint endpoint_;
 
-  SequenceNumber sequence_ = 1;
   std::map<ChannelId, std::deque<PendingRead>> pending_reads_;
   std::map<ChannelId, StreamState> streams_;
-  // Channels waiting for a driver upload, keyed by device type.
-  std::map<DeviceTypeId, ChannelId> awaiting_driver_;
   std::optional<PlugFlowMarks> last_flow_;
   uint64_t advertisements_sent_ = 0;
   uint64_t reads_served_ = 0;
   uint64_t writes_served_ = 0;
+  uint64_t driver_requests_failed_ = 0;
 };
 
 }  // namespace micropnp

@@ -46,14 +46,14 @@ TEST(Status, DefaultIsOk) {
 }
 
 TEST(Status, ErrorCarriesCodeAndMessage) {
-  Status s = TimeoutError("uart rx");
+  Status s = DeadlineExceeded("uart rx");
   EXPECT_FALSE(s.ok());
-  EXPECT_EQ(s.code(), StatusCode::kTimeout);
-  EXPECT_EQ(s.ToString(), "timeout: uart rx");
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(s.ToString(), "deadline_exceeded: uart rx");
 }
 
 TEST(Status, AllCodesHaveNames) {
-  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kCancelled); ++c) {
     EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "unknown");
   }
 }

@@ -1,0 +1,575 @@
+// ProtoEndpoint: the typed request/response core of the interaction
+// protocol.  Covers the transaction lifecycle (exactly-once completion,
+// deadlines, cancellation, retransmit-with-backoff), the (peer, sequence)
+// matching rules (stale, duplicate and wrapped-sequence replies), the
+// regression tests for the seed's pending-table leaks (manager driver
+// operations, client stream requests), and wire robustness: truncated and
+// garbage datagrams must parse-fail cleanly and never crash or corrupt
+// endpoint state.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <optional>
+#include <set>
+
+#include "src/common/rng.h"
+#include "src/core/deployment.h"
+#include "src/proto/endpoint.h"
+#include "tests/message_corpus.h"
+
+namespace micropnp {
+namespace {
+
+// --------------------------------------------------------------- harness ----
+// Two bare fabric nodes with a ProtoEndpoint on the requester and a
+// scriptable responder, for precise control over replies.
+
+class EndpointHarness : public ::testing::Test {
+ protected:
+  static constexpr size_t kCapacity = 4;
+
+  EndpointHarness() {
+    requester_node_ = deployment_.AddRelayNode("requester");
+    responder_node_ = deployment_.AddRelayNode("responder");
+    endpoint_ = std::make_unique<ProtoEndpoint>(deployment_.scheduler(), requester_node_,
+                                                kCapacity);
+    requester_node_->BindUdp(
+        kMicroPnpUdpPort, [this](const Ip6Address& src, const Ip6Address&, uint16_t,
+                                 const std::vector<uint8_t>& payload) {
+          Result<Message> m = Message::Parse(ByteSpan(payload.data(), payload.size()));
+          if (m.ok()) {
+            (void)endpoint_->HandleReply(src, *m);
+          }
+        });
+    responder_node_->BindUdp(
+        kMicroPnpUdpPort, [this](const Ip6Address& src, const Ip6Address&, uint16_t,
+                                 const std::vector<uint8_t>& payload) {
+          Result<Message> m = Message::Parse(ByteSpan(payload.data(), payload.size()));
+          if (!m.ok()) {
+            return;
+          }
+          requests_seen_.push_back(*m);
+          if (responder_) {
+            responder_(src, *m);
+          }
+        });
+  }
+
+  // Sends a read request; the returned flag counts handler invocations.
+  ProtoEndpoint::RequestId SendRead(std::shared_ptr<int> fires,
+                                    std::shared_ptr<Status> last_status,
+                                    const RequestOptions& options = RequestOptions{}) {
+    return endpoint_->SendRequest(
+        responder_node_->address(), MessageType::kRead, DeviceTargetPayload{kTmp36TypeId},
+        {MessageType::kData},
+        [fires, last_status](Result<Message> reply) {
+          ++*fires;
+          *last_status = reply.status();
+        },
+        options);
+  }
+
+  // A well-formed (11) data reply with the given sequence.
+  std::vector<uint8_t> DataReply(SequenceNumber seq) {
+    WireValue v;
+    v.scalar = 215;
+    return MakeMessage(MessageType::kData, seq, ValuePayload{kTmp36TypeId, v}).Serialize();
+  }
+
+  Deployment deployment_;
+  NetNode* requester_node_ = nullptr;
+  NetNode* responder_node_ = nullptr;
+  std::unique_ptr<ProtoEndpoint> endpoint_;
+  std::vector<Message> requests_seen_;
+  std::function<void(const Ip6Address&, const Message&)> responder_;
+};
+
+TEST_F(EndpointHarness, CompletesExactlyOnceWithReply) {
+  responder_ = [this](const Ip6Address& src, const Message& m) {
+    responder_node_->SendUdp(src, kMicroPnpUdpPort, DataReply(m.sequence));
+  };
+  auto fires = std::make_shared<int>(0);
+  auto status = std::make_shared<Status>();
+  SendRead(fires, status);
+  deployment_.RunForMillis(3000);
+  EXPECT_EQ(*fires, 1);
+  EXPECT_TRUE(status->ok());
+  EXPECT_EQ(endpoint_->in_flight(), 0u);
+  EXPECT_EQ(endpoint_->counters().completed_ok, 1u);
+}
+
+TEST_F(EndpointHarness, DuplicateReplyDroppedAsStale) {
+  responder_ = [this](const Ip6Address& src, const Message& m) {
+    responder_node_->SendUdp(src, kMicroPnpUdpPort, DataReply(m.sequence));
+    responder_node_->SendUdp(src, kMicroPnpUdpPort, DataReply(m.sequence));
+  };
+  auto fires = std::make_shared<int>(0);
+  auto status = std::make_shared<Status>();
+  SendRead(fires, status);
+  deployment_.RunForMillis(3000);
+  EXPECT_EQ(*fires, 1);
+  EXPECT_EQ(endpoint_->counters().stale_replies_dropped, 1u);
+}
+
+TEST_F(EndpointHarness, DeadlineExceededFiresOnceAndClearsEntry) {
+  // Responder stays silent.
+  auto fires = std::make_shared<int>(0);
+  auto status = std::make_shared<Status>();
+  RequestOptions options;
+  options.deadline_ms = 400.0;
+  SendRead(fires, status, options);
+  EXPECT_EQ(endpoint_->in_flight(), 1u);
+  deployment_.RunForMillis(2000);
+  EXPECT_EQ(*fires, 1);
+  EXPECT_EQ(status->code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(endpoint_->in_flight(), 0u);
+  EXPECT_EQ(endpoint_->counters().deadline_exceeded, 1u);
+}
+
+TEST_F(EndpointHarness, LateReplyAfterDeadlineIsStale) {
+  responder_ = [this](const Ip6Address& src, const Message& m) {
+    // Answer far past the requester's deadline.
+    deployment_.scheduler().ScheduleAfter(SimTime::FromMillis(1500), [this, src, seq = m.sequence] {
+      responder_node_->SendUdp(src, kMicroPnpUdpPort, DataReply(seq));
+    });
+  };
+  auto fires = std::make_shared<int>(0);
+  auto status = std::make_shared<Status>();
+  RequestOptions options;
+  options.deadline_ms = 300.0;
+  SendRead(fires, status, options);
+  deployment_.RunForMillis(4000);
+  EXPECT_EQ(*fires, 1);
+  EXPECT_EQ(status->code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(endpoint_->counters().stale_replies_dropped, 1u);
+}
+
+TEST_F(EndpointHarness, WrongReplyTypeDoesNotComplete) {
+  responder_ = [this](const Ip6Address& src, const Message& m) {
+    // A write-ack cannot complete a read, even with a matching sequence.
+    responder_node_->SendUdp(
+        src, kMicroPnpUdpPort,
+        MakeMessage(MessageType::kWriteAck, m.sequence, StatusAckPayload{kTmp36TypeId, 0})
+            .Serialize());
+  };
+  auto fires = std::make_shared<int>(0);
+  auto status = std::make_shared<Status>();
+  RequestOptions options;
+  options.deadline_ms = 500.0;
+  SendRead(fires, status, options);
+  deployment_.RunForMillis(2000);
+  EXPECT_EQ(*fires, 1);
+  EXPECT_EQ(status->code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(endpoint_->counters().stale_replies_dropped, 1u);
+}
+
+TEST_F(EndpointHarness, AcceptPredicateRejectsWithoutConsumingTransaction) {
+  // First reply carries the right type and sequence but the wrong device;
+  // the predicate must drop it (stale) and leave the transaction pending
+  // for the correct reply.
+  responder_ = [this](const Ip6Address& src, const Message& m) {
+    WireValue v;
+    v.scalar = 1;
+    responder_node_->SendUdp(
+        src, kMicroPnpUdpPort,
+        MakeMessage(MessageType::kData, m.sequence, ValuePayload{kBmp180TypeId, v}).Serialize());
+    deployment_.scheduler().ScheduleAfter(SimTime::FromMillis(200), [this, src, seq = m.sequence] {
+      responder_node_->SendUdp(src, kMicroPnpUdpPort, DataReply(seq));
+    });
+  };
+  auto fires = std::make_shared<int>(0);
+  auto status = std::make_shared<Status>();
+  RequestOptions options;
+  options.accept = [](const Message& reply) {
+    const auto* data = reply.payload_as<ValuePayload>();
+    return data != nullptr && data->device_id == kTmp36TypeId;
+  };
+  SendRead(fires, status, options);
+  deployment_.RunForMillis(3000);
+  EXPECT_EQ(*fires, 1);
+  EXPECT_TRUE(status->ok()) << status->ToString();
+  EXPECT_EQ(endpoint_->counters().stale_replies_dropped, 1u);
+}
+
+TEST_F(EndpointHarness, RetransmitsWithBackoffUntilAnswered) {
+  // Responder ignores the first two copies of the request.
+  responder_ = [this](const Ip6Address& src, const Message& m) {
+    if (requests_seen_.size() < 3) {
+      return;
+    }
+    responder_node_->SendUdp(src, kMicroPnpUdpPort, DataReply(m.sequence));
+  };
+  auto fires = std::make_shared<int>(0);
+  auto status = std::make_shared<Status>();
+  RequestOptions options;
+  options.deadline_ms = 5000.0;
+  options.max_retransmits = 4;
+  options.initial_backoff_ms = 100.0;
+  SendRead(fires, status, options);
+  deployment_.RunForMillis(6000);
+  EXPECT_EQ(*fires, 1);
+  EXPECT_TRUE(status->ok()) << status->ToString();
+  // Initial send + 2 ignored retransmits before the answered third copy.
+  EXPECT_GE(endpoint_->counters().retransmits, 2u);
+  // All copies carried the same sequence (one transaction on the wire).
+  ASSERT_GE(requests_seen_.size(), 3u);
+  EXPECT_EQ(requests_seen_[0].sequence, requests_seen_[1].sequence);
+  EXPECT_EQ(requests_seen_[0].sequence, requests_seen_[2].sequence);
+}
+
+TEST_F(EndpointHarness, CancellationCompletesWithCancelled) {
+  auto fires = std::make_shared<int>(0);
+  auto status = std::make_shared<Status>();
+  ProtoEndpoint::RequestId id = SendRead(fires, status);
+  deployment_.RunForMillis(10);
+  ASSERT_TRUE(endpoint_->Cancel(id));
+  EXPECT_EQ(*fires, 1);
+  EXPECT_EQ(status->code(), StatusCode::kCancelled);
+  EXPECT_EQ(endpoint_->in_flight(), 0u);
+  // Cancelling again is a no-op.
+  EXPECT_FALSE(endpoint_->Cancel(id));
+  deployment_.RunForMillis(5000);
+  EXPECT_EQ(*fires, 1);  // the dead transaction's deadline never fires
+}
+
+TEST_F(EndpointHarness, CapacityBoundRejectsExcessRequests) {
+  auto fires = std::make_shared<int>(0);
+  auto status = std::make_shared<Status>();
+  for (size_t i = 0; i < kCapacity; ++i) {
+    SendRead(fires, status);
+  }
+  EXPECT_EQ(endpoint_->in_flight(), kCapacity);
+  auto rejected_status = std::make_shared<Status>();
+  auto rejected_fires = std::make_shared<int>(0);
+  EXPECT_EQ(SendRead(rejected_fires, rejected_status), ProtoEndpoint::kInvalidRequest);
+  EXPECT_EQ(*rejected_fires, 1);  // fails fast, same turn
+  EXPECT_EQ(rejected_status->code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(endpoint_->counters().rejected_capacity, 1u);
+  // The table never exceeds its bound and drains at the deadline.
+  deployment_.RunForMillis(5000);
+  EXPECT_EQ(endpoint_->in_flight(), 0u);
+  EXPECT_EQ(*fires, static_cast<int>(kCapacity));
+}
+
+TEST_F(EndpointHarness, WrappedSequenceNeverAliasesPendingTransaction) {
+  // Force the allocator to the top of the 16-bit space, with a silent
+  // responder keeping every transaction pending.
+  endpoint_->SetNextSequenceForTest(65534);
+  auto fires = std::make_shared<int>(0);
+  auto status = std::make_shared<Status>();
+  RequestOptions options;
+  options.deadline_ms = 4000.0;
+  SendRead(fires, status, options);  // 65534
+  SendRead(fires, status, options);  // 65535
+  SendRead(fires, status, options);  // wraps to 0
+  deployment_.RunForMillis(200);
+  ASSERT_EQ(requests_seen_.size(), 3u);
+  // CSMA jitter may reorder same-instant datagrams; compare as a set.
+  std::multiset<SequenceNumber> seen{requests_seen_[0].sequence, requests_seen_[1].sequence,
+                                     requests_seen_[2].sequence};
+  EXPECT_EQ(seen, (std::multiset<SequenceNumber>{65534, 65535, 0}));
+  // Wind the allocator back onto the still-pending sequences: allocation
+  // must skip all three and hand out 1.
+  endpoint_->SetNextSequenceForTest(65534);
+  SendRead(fires, status, options);
+  deployment_.RunForMillis(200);
+  ASSERT_EQ(requests_seen_.size(), 4u);
+  EXPECT_EQ(requests_seen_[3].sequence, 1);
+  EXPECT_EQ(endpoint_->in_flight(), 4u);
+  // A stale reply for a sequence that was never allocated is rejected.
+  responder_node_->SendUdp(requester_node_->address(), kMicroPnpUdpPort, DataReply(777));
+  deployment_.RunForMillis(200);
+  EXPECT_EQ(*fires, 0);
+  EXPECT_EQ(endpoint_->counters().stale_replies_dropped, 1u);
+}
+
+// ------------------------------------------------- lossy-fabric end to end ----
+
+// The acceptance scenario: a burst of reads over a lossy fabric.  Every
+// operation completes exactly once — reply or deadline — and no pending
+// entry survives past its deadline.
+TEST(EndpointLossy, EveryOperationCompletesExactlyOnce) {
+  DeploymentConfig config;
+  config.seed = 20150405;
+  Deployment deployment(config);
+  deployment.AddManager();
+  MicroPnpThing& thing = deployment.AddThing("thing");
+  MicroPnpClient& client = deployment.AddClient("client");
+  Tmp36& sensor = deployment.MakeTmp36();
+  ASSERT_TRUE(thing.Plug(0, &sensor).ok());
+  deployment.RunForMillis(2000);
+  ASSERT_NE(thing.drivers().HostForChannel(0), nullptr);
+
+  // Turn the links lossy for the read burst.
+  LinkModel lossy = config.link;
+  lossy.loss_rate = 0.25;
+  deployment.fabric().set_link(lossy);
+
+  constexpr int kReads = 20;
+  std::array<int, kReads> fires{};
+  RequestOptions options;
+  options.deadline_ms = 1500.0;
+  options.max_retransmits = 3;
+  options.initial_backoff_ms = 150.0;
+  for (int i = 0; i < kReads; ++i) {
+    client.Read(thing.node().address(), kTmp36TypeId,
+                [&fires, i](Result<WireValue>) { ++fires[i]; }, options);
+    deployment.RunForMillis(40);
+  }
+  deployment.RunForMillis(5000);  // far past every deadline
+
+  for (int i = 0; i < kReads; ++i) {
+    EXPECT_EQ(fires[i], 1) << "read " << i;
+  }
+  EXPECT_EQ(client.endpoint().in_flight(), 0u);
+  const EndpointCounters& counters = client.endpoint().counters();
+  EXPECT_EQ(counters.completed_ok + counters.deadline_exceeded, kReads);
+  EXPECT_GT(counters.retransmits, 0u);
+}
+
+// ------------------------------------------ pending-table leak regressions ----
+
+// Seed bug: DiscoverDrivers/RemoveDriver toward an unreachable Thing left a
+// pending-table entry (and a never-invoked callback) forever.
+TEST(ManagerTimeouts, DiscoverAndRemoveCompleteWhenThingUnreachable) {
+  Deployment deployment;
+  MicroPnpManager& manager = deployment.AddManager();
+  const Ip6Address unplugged = *Ip6Address::Parse("2001:db8::dead");
+
+  RequestOptions options;
+  options.deadline_ms = 500.0;
+  std::optional<Status> discover_status;
+  manager.DiscoverDrivers(
+      unplugged,
+      [&](Result<std::vector<DeviceTypeId>> ids) { discover_status = ids.status(); }, options);
+  std::optional<Status> removal_status;
+  manager.RemoveDriver(unplugged, kTmp36TypeId,
+                       [&](Status status) { removal_status = status; }, options);
+  EXPECT_EQ(manager.endpoint().in_flight(), 2u);
+  deployment.RunForMillis(2000);
+
+  ASSERT_TRUE(discover_status.has_value());
+  EXPECT_EQ(discover_status->code(), StatusCode::kDeadlineExceeded);
+  ASSERT_TRUE(removal_status.has_value());
+  EXPECT_EQ(removal_status->code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(manager.endpoint().in_flight(), 0u);
+}
+
+// Seed bug: a StartStream whose (13) never arrives left a stream_requests_
+// entry forever and on_closed never fired.
+TEST(ClientStreamExpiry, UnansweredStartStreamExpiresAndCloses) {
+  Deployment deployment;
+  MicroPnpClient& client = deployment.AddClient("client");
+  const Ip6Address unplugged = *Ip6Address::Parse("2001:db8::dead");
+
+  RequestOptions options;
+  options.deadline_ms = 400.0;
+  int values = 0;
+  int closed = 0;
+  client.StartStream(
+      unplugged, kHih4030TypeId, 1000, [&](const WireValue&) { ++values; }, [&] { ++closed; },
+      options);
+  EXPECT_EQ(client.endpoint().in_flight(), 1u);
+  deployment.RunForMillis(2000);
+
+  EXPECT_EQ(closed, 1);
+  EXPECT_EQ(values, 0);
+  EXPECT_EQ(client.endpoint().in_flight(), 0u);
+}
+
+// A StopStream whose (15) is lost still tears the subscription down at the
+// deadline: no leaked group membership, on_closed fires exactly once.
+TEST(ClientStreamExpiry, StopStreamUnderTotalLossStillClosesLocally) {
+  DeploymentConfig config;
+  Deployment deployment(config);
+  deployment.AddManager();
+  MicroPnpThing& thing = deployment.AddThing("thing");
+  MicroPnpClient& client = deployment.AddClient("client");
+  Hih4030& sensor = deployment.MakeHih4030();
+  ASSERT_TRUE(thing.Plug(0, &sensor).ok());
+  deployment.RunForMillis(2000);
+
+  int closed = 0;
+  client.StartStream(thing.node().address(), kHih4030TypeId, 500, [](const WireValue&) {},
+                     [&] { ++closed; });
+  deployment.RunForMillis(1500);
+  const Ip6Address group = PeripheralGroup(client.node().prefix(), kHih4030TypeId);
+  ASSERT_TRUE(client.node().InGroup(group));
+
+  // Black out the network, then stop the stream: the (12) and any (15) are
+  // all lost, but the local subscription must still close at the deadline.
+  LinkModel blackout = config.link;
+  blackout.loss_rate = 1.0;
+  deployment.fabric().set_link(blackout);
+  RequestOptions options;
+  options.deadline_ms = 400.0;
+  client.StopStream(thing.node().address(), kHih4030TypeId, options);
+  deployment.RunForMillis(2000);
+
+  EXPECT_EQ(closed, 1);
+  EXPECT_FALSE(client.node().InGroup(group));
+  EXPECT_EQ(client.endpoint().in_flight(), 0u);
+}
+
+// A StartStream rejected for capacity never went on the wire, so it must
+// NOT send the best-effort shutdown that would tear down a healthy stream
+// other subscribers may be using.
+TEST(ClientStreamExpiry, CapacityRejectedStartStreamLeavesActiveStreamAlone) {
+  Deployment deployment;
+  deployment.AddManager();
+  MicroPnpThing& thing = deployment.AddThing("thing");
+  // Capacity 1: one pending transaction saturates the client's endpoint.
+  MicroPnpClient& client = deployment.AddClient("client", nullptr, /*max_in_flight=*/1);
+  Hih4030& sensor = deployment.MakeHih4030();
+  ASSERT_TRUE(thing.Plug(0, &sensor).ok());
+  deployment.RunForMillis(2000);
+
+  int values = 0;
+  client.StartStream(thing.node().address(), kHih4030TypeId, 500,
+                     [&](const WireValue&) { ++values; });
+  deployment.RunForMillis(2000);
+  ASSERT_GT(values, 0);
+
+  // Saturate the table, then ask for the same stream again: rejected for
+  // capacity, on_closed fires for the *new* request only.
+  const Ip6Address unreachable = *Ip6Address::Parse("2001:db8::dead");
+  RequestOptions slow;
+  slow.deadline_ms = 60'000.0;
+  client.Read(unreachable, kTmp36TypeId, [](Result<WireValue>) {}, slow);
+  int rejected_closed = 0;
+  client.StartStream(thing.node().address(), kHih4030TypeId, 250, [](const WireValue&) {},
+                     [&] { ++rejected_closed; });
+  EXPECT_EQ(rejected_closed, 1);
+
+  // The established stream keeps flowing: no shutdown was sent.
+  const int before = values;
+  deployment.RunForMillis(3000);
+  EXPECT_GT(values, before);
+}
+
+// A retransmitted (4) with the same (thing, sequence) is re-served from the
+// manager's cache: the Thing recovers a lost (5), and uploads() still
+// counts distinct transactions.
+TEST(ManagerDedup, DuplicateInstallRequestsReServeWithoutRecount) {
+  Deployment deployment;
+  MicroPnpManager& manager = deployment.AddManager();
+  NetNode* thing_node = deployment.AddRelayNode("fake-thing");
+  std::vector<Message> uploads_received;
+  thing_node->BindUdp(kMicroPnpUdpPort,
+                      [&](const Ip6Address&, const Ip6Address&, uint16_t,
+                          const std::vector<uint8_t>& payload) {
+                        Result<Message> m = Message::Parse(ByteSpan(payload.data(), payload.size()));
+                        if (m.ok() && m->type == MessageType::kDriverUpload) {
+                          uploads_received.push_back(*m);
+                        }
+                      });
+
+  const Message request = MakeDeviceMessage(MessageType::kDriverInstallRequest, 42, kTmp36TypeId);
+  thing_node->SendUdp(ManagerAnycastAddress(), kMicroPnpUdpPort, request.Serialize());
+  deployment.RunForMillis(500);
+  thing_node->SendUdp(ManagerAnycastAddress(), kMicroPnpUdpPort, request.Serialize());
+  deployment.RunForMillis(500);
+
+  ASSERT_EQ(uploads_received.size(), 2u);  // both copies answered (recovery)
+  EXPECT_EQ(uploads_received[0], uploads_received[1]);
+  EXPECT_EQ(manager.uploads(), 1u);  // but only one distinct transaction
+  EXPECT_EQ(manager.upload_retransmissions(), 1u);
+}
+
+// --------------------------------------------------------- wire robustness ----
+
+// Every strict prefix of every valid message must fail to parse: the wire
+// format has no optional trailing fields, so truncation is always corrupt.
+TEST(WireRobustness, TruncatedDatagramsAlwaysParseFail) {
+  for (const Message& m : RepresentativeMessages()) {
+    const std::vector<uint8_t> wire = m.Serialize();
+    for (size_t len = 0; len < wire.size(); ++len) {
+      Result<Message> parsed = Message::Parse(ByteSpan(wire.data(), len));
+      EXPECT_FALSE(parsed.ok()) << MessageTypeName(m.type) << " truncated to " << len << "/"
+                                << wire.size() << " bytes";
+    }
+  }
+}
+
+TEST(WireRobustness, TrailingBytesAreRejected) {
+  for (const Message& m : RepresentativeMessages()) {
+    std::vector<uint8_t> wire = m.Serialize();
+    wire.push_back(0x00);
+    EXPECT_FALSE(Message::Parse(ByteSpan(wire.data(), wire.size())).ok())
+        << MessageTypeName(m.type);
+  }
+}
+
+// Deterministic garbage sweep: random bytes (with a valid type byte forced
+// half the time, to get past the header check) must never crash.  Run under
+// the ASan+UBSan CI job, this is the memory-safety net for Parse.
+TEST(WireRobustness, GarbageDatagramsNeverCrash) {
+  Rng rng(0xf00dface);
+  for (int i = 0; i < 5000; ++i) {
+    const size_t len = rng.UniformInt(0, 96);
+    std::vector<uint8_t> bytes(len);
+    for (uint8_t& b : bytes) {
+      b = static_cast<uint8_t>(rng.NextU32() & 0xff);
+    }
+    if (!bytes.empty() && rng.Bernoulli(0.5)) {
+      bytes[0] = static_cast<uint8_t>(rng.UniformInt(1, 17));
+    }
+    (void)Message::Parse(ByteSpan(bytes.data(), bytes.size()));  // must not crash
+  }
+}
+
+// Garbage and truncated datagrams delivered to live nodes on port 6030 are
+// dropped without mutating endpoint state, and the system keeps serving.
+TEST(WireRobustness, LiveNodesSurviveGarbageOnPort6030) {
+  Deployment deployment;
+  deployment.AddManager();
+  MicroPnpThing& thing = deployment.AddThing("thing");
+  MicroPnpClient& client = deployment.AddClient("client");
+  NetNode* attacker = deployment.AddRelayNode("attacker");
+  Tmp36& sensor = deployment.MakeTmp36();
+  ASSERT_TRUE(thing.Plug(0, &sensor).ok());
+  deployment.RunForMillis(1500);
+  ASSERT_NE(thing.drivers().HostForChannel(0), nullptr);
+
+  const EndpointCounters thing_before = thing.endpoint().counters();
+  const EndpointCounters client_before = client.endpoint().counters();
+
+  Rng rng(0xbadbeef);
+  for (int i = 0; i < 200; ++i) {
+    const size_t len = rng.UniformInt(0, 48);
+    std::vector<uint8_t> bytes(len);
+    for (uint8_t& b : bytes) {
+      b = static_cast<uint8_t>(rng.NextU32() & 0xff);
+    }
+    attacker->SendUdp(i % 2 == 0 ? thing.node().address() : client.node().address(),
+                      kMicroPnpUdpPort, bytes);
+  }
+  // Truncated copies of every valid message, too.
+  for (const Message& m : RepresentativeMessages()) {
+    std::vector<uint8_t> wire = m.Serialize();
+    wire.resize(wire.size() / 2);
+    attacker->SendUdp(thing.node().address(), kMicroPnpUdpPort, wire);
+    attacker->SendUdp(client.node().address(), kMicroPnpUdpPort, wire);
+  }
+  deployment.RunForMillis(2000);
+
+  // Malformed datagrams never reach the endpoints: counters unchanged.
+  EXPECT_EQ(thing.endpoint().counters().stale_replies_dropped,
+            thing_before.stale_replies_dropped);
+  EXPECT_EQ(thing.endpoint().in_flight(), 0u);
+  EXPECT_EQ(client.endpoint().counters().requests_started, client_before.requests_started);
+  EXPECT_EQ(client.endpoint().in_flight(), 0u);
+
+  // And the system still works.
+  std::optional<Status> outcome;
+  client.Read(thing.node().address(), kTmp36TypeId,
+              [&](Result<WireValue> value) { outcome = value.status(); });
+  deployment.RunForMillis(500);
+  ASSERT_TRUE(outcome.has_value());
+  EXPECT_TRUE(outcome->ok()) << outcome->ToString();
+}
+
+}  // namespace
+}  // namespace micropnp

@@ -1,0 +1,54 @@
+// Shared test corpus: one representative message per wire type (1)..(17),
+// with every payload field populated.  proto_test uses it for round-trip
+// coverage; endpoint_test drives its truncation/garbage robustness sweeps
+// over the same list, so a new message type added here is automatically
+// covered by both suites.
+
+#ifndef TESTS_MESSAGE_CORPUS_H_
+#define TESTS_MESSAGE_CORPUS_H_
+
+#include <vector>
+
+#include "src/net/multicast_schema.h"
+#include "src/periph/peripheral.h"
+#include "src/proto/messages.h"
+
+namespace micropnp {
+
+inline std::vector<Message> RepresentativeMessages() {
+  AdvertisedPeripheral p;
+  p.type = kTmp36TypeId;
+  p.info.AddString(TlvType::kFriendlyName, "TMP36");
+  p.info.AddU8(TlvType::kChannel, 1);
+  WireValue scalar;
+  scalar.scalar = -42;
+  WireValue array;
+  array.is_array = true;
+  array.bytes = {'4', 'A', '0', '0', 'D', '2'};
+  const Ip6Address group = PeripheralGroup(0x20010db80000ull, 0xad1c0001);
+  return {
+      MakeAdvertisement(MessageType::kUnsolicitedAdvertisement, 101, {p}),
+      MakeMessage(MessageType::kPeripheralDiscovery, 102, PeripheralDiscoveryPayload{}),
+      MakeAdvertisement(MessageType::kSolicitedAdvertisement, 103, {p}),
+      MakeDeviceMessage(MessageType::kDriverInstallRequest, 104, 0xad1c0001),
+      MakeMessage(MessageType::kDriverUpload, 105, DriverUploadPayload{0xad1c0001, {1, 2, 3}}),
+      MakeDeviceMessage(MessageType::kDriverDiscovery, 106, kDeviceTypeAllPeripherals),
+      MakeMessage(MessageType::kDriverAdvertisement, 107,
+                  DriverAdvertisementPayload{{0xad1c0001, 0x0a0b0004}}),
+      MakeDeviceMessage(MessageType::kDriverRemovalRequest, 108, 0xad1c0001),
+      MakeMessage(MessageType::kDriverRemovalAck, 109, StatusAckPayload{0xad1c0001, 1}),
+      MakeDeviceMessage(MessageType::kRead, 110, 0xad1c0001),
+      MakeMessage(MessageType::kData, 111, ValuePayload{0xad1c0001, scalar}),
+      MakeMessage(MessageType::kStream, 112, StreamRequestPayload{0xad1c0001, 10'000}),
+      MakeMessage(MessageType::kStreamEstablished, 113,
+                  StreamEstablishedPayload{0xad1c0001, group}),
+      MakeMessage(MessageType::kStreamData, 114, ValuePayload{0xad1c0001, array}),
+      MakeDeviceMessage(MessageType::kStreamClosed, 115, 0xad1c0001),
+      MakeMessage(MessageType::kWrite, 116, WritePayload{0xad1c0001, 17}),
+      MakeMessage(MessageType::kWriteAck, 117, StatusAckPayload{0xad1c0001, 0}),
+  };
+}
+
+}  // namespace micropnp
+
+#endif  // TESTS_MESSAGE_CORPUS_H_

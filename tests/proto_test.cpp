@@ -9,6 +9,7 @@
 #include "src/core/deployment.h"
 #include "src/core/driver_sources.h"
 #include "src/dsl/compiler.h"
+#include "tests/message_corpus.h"
 
 namespace micropnp {
 namespace {
@@ -29,35 +30,26 @@ TEST(Messages, AdvertisementRoundTrip) {
 }
 
 TEST(Messages, AllSeventeenTypesRoundTrip) {
-  for (int t = 1; t <= 17; ++t) {
-    Message m;
-    m.type = static_cast<MessageType>(t);
-    m.sequence = static_cast<SequenceNumber>(100 + t);
-    m.device_id = 0xad1c0001;
-    m.driver_image = {1, 2, 3};
-    m.driver_ids = {0xad1c0001, 0x0a0b0004};
-    m.status = 1;
-    m.value.scalar = -42;
-    m.stream_period_ms = 10'000;
-    m.stream_group = PeripheralGroup(0x20010db80000ull, 0xad1c0001);
-    m.write_value = 17;
-
+  std::vector<Message> corpus = RepresentativeMessages();
+  ASSERT_EQ(corpus.size(), 17u);
+  for (const Message& m : corpus) {
     std::vector<uint8_t> wire = m.Serialize();
     Result<Message> parsed = Message::Parse(ByteSpan(wire.data(), wire.size()));
-    ASSERT_TRUE(parsed.ok()) << "type " << t << ": " << parsed.status().ToString();
-    EXPECT_EQ(parsed->type, m.type);
-    EXPECT_EQ(parsed->sequence, m.sequence);
+    ASSERT_TRUE(parsed.ok()) << MessageTypeName(m.type) << ": " << parsed.status().ToString();
+    EXPECT_EQ(*parsed, m) << MessageTypeName(m.type);
   }
 }
 
 TEST(Messages, ArrayValueRoundTrip) {
-  Message m = MakeDeviceMessage(MessageType::kData, 9, kId20LaTypeId);
-  m.value.is_array = true;
-  m.value.bytes = {'4', 'A', '0', '0', 'D', '2', '3', 'F', '8', '1', '2', '6'};
+  WireValue value;
+  value.is_array = true;
+  value.bytes = {'4', 'A', '0', '0', 'D', '2', '3', 'F', '8', '1', '2', '6'};
+  Message m = MakeMessage(MessageType::kData, 9, ValuePayload{kId20LaTypeId, value});
   std::vector<uint8_t> wire = m.Serialize();
   Result<Message> parsed = Message::Parse(ByteSpan(wire.data(), wire.size()));
   ASSERT_TRUE(parsed.ok());
-  EXPECT_EQ(parsed->value, m.value);
+  ASSERT_NE(parsed->payload_as<ValuePayload>(), nullptr);
+  EXPECT_EQ(parsed->payload_as<ValuePayload>()->value, value);
 }
 
 TEST(Messages, ParseRejectsGarbage) {
@@ -65,6 +57,13 @@ TEST(Messages, ParseRejectsGarbage) {
   EXPECT_FALSE(Message::Parse(ByteSpan(junk.data(), junk.size())).ok());
   std::vector<uint8_t> truncated = {static_cast<uint8_t>(MessageType::kRead), 0x00};
   EXPECT_FALSE(Message::Parse(ByteSpan(truncated.data(), truncated.size())).ok());
+}
+
+TEST(Messages, PayloadTypeConsistency) {
+  EXPECT_TRUE(PayloadMatchesType(MessageType::kRead, DeviceTargetPayload{}));
+  EXPECT_FALSE(PayloadMatchesType(MessageType::kRead, WritePayload{}));
+  EXPECT_TRUE(PayloadMatchesType(MessageType::kWriteAck, StatusAckPayload{}));
+  EXPECT_FALSE(PayloadMatchesType(MessageType::kData, StatusAckPayload{}));
 }
 
 // ------------------------------------------------- deployment integration ---
@@ -123,8 +122,9 @@ TEST_F(NetworkedSystem, DiscoveryFindsMatchingThings) {
 
   std::vector<MicroPnpClient::DiscoveredThing> found;
   client_.Discover(kTmp36TypeId, /*window_ms=*/500,
-                   [&](std::vector<MicroPnpClient::DiscoveredThing> results) {
-                     found = std::move(results);
+                   [&](Result<std::vector<MicroPnpClient::DiscoveredThing>> results) {
+                     ASSERT_TRUE(results.ok());
+                     found = std::move(*results);
                    });
   deployment_.RunForMillis(800);
   ASSERT_EQ(found.size(), 1u);
@@ -139,9 +139,10 @@ TEST_F(NetworkedSystem, DiscoveryForAbsentPeripheralFindsNothing) {
   std::vector<MicroPnpClient::DiscoveredThing> found;
   bool fired = false;
   client_.Discover(kBmp180TypeId, 500,
-                   [&](std::vector<MicroPnpClient::DiscoveredThing> results) {
+                   [&](Result<std::vector<MicroPnpClient::DiscoveredThing>> results) {
                      fired = true;
-                     found = std::move(results);
+                     ASSERT_TRUE(results.ok());
+                     found = std::move(*results);
                    });
   deployment_.RunForMillis(800);
   EXPECT_TRUE(fired);
@@ -192,7 +193,9 @@ TEST_F(NetworkedSystem, ReadTimesOutWhenPeripheralMissing) {
                /*timeout_ms=*/300);
   deployment_.RunForMillis(600);
   ASSERT_TRUE(outcome.has_value());
-  EXPECT_EQ(outcome->code(), StatusCode::kTimeout);
+  EXPECT_EQ(outcome->code(), StatusCode::kDeadlineExceeded);
+  // The transaction is gone: no pending entry survives its deadline.
+  EXPECT_EQ(client_.endpoint().in_flight(), 0u);
 }
 
 TEST_F(NetworkedSystem, RemoteWriteActuatesRelay) {
@@ -251,8 +254,10 @@ TEST_F(NetworkedSystem, ManagerRemoteDriverManagement) {
 
   // (6)/(7) driver discovery.
   std::vector<DeviceTypeId> drivers;
-  manager_.DiscoverDrivers(thing_.node().address(),
-                           [&](std::vector<DeviceTypeId> ids) { drivers = std::move(ids); });
+  manager_.DiscoverDrivers(thing_.node().address(), [&](Result<std::vector<DeviceTypeId>> ids) {
+    ASSERT_TRUE(ids.ok()) << ids.status().ToString();
+    drivers = std::move(*ids);
+  });
   deployment_.RunForMillis(500);
   ASSERT_EQ(drivers.size(), 1u);
   EXPECT_EQ(drivers[0], kTmp36TypeId);
