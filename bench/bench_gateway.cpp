@@ -1,140 +1,105 @@
-// Gateway scenario: one manager + one gateway client serving N Things over
-// an increasingly lossy fabric — the fleet-scale workload the typed
-// ProtoEndpoint (deadlines + bounded retransmit-with-backoff) exists for.
+// Fleet-scale gateway sweep: one manager + one gateway client, closed-loop
+// reads over N Things (see src/core/gateway_bench.h for the scenario).
 //
-// For each (N, loss_rate) cell the gateway issues rounds of reads across
-// every Thing and we report the operation completion rate, p50/p99 latency
-// of completed operations, and the endpoint's retransmit counter.  Without
-// retransmissions (seed behaviour, cf. bench_multihop) completion collapses
-// beyond ~5% frame loss; with the endpoint the gateway rides out 20% loss
-// at the cost of latency.
+// Reports p50/p99 simulated read latency, scheduler events per wall second,
+// and the pending-table high-water mark per cell, and writes the same data
+// machine-readably to BENCH_gateway.json (schema in docs/BENCHMARKS.md).
+//
+//   bench_gateway [--smoke] [--full] [--out PATH]
+//
+//   --smoke   tiny fleet (CI: validates the scenario + JSON end to end)
+//   --full    adds the N=100k stretch cell to the default {1k, 10k} sweep
+//   --out     JSON output path (default BENCH_gateway.json)
 
-#include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
-#include "src/core/deployment.h"
-#include "src/core/driver_sources.h"
-#include "src/dsl/compiler.h"
+#include "src/core/gateway_bench.h"
 
 namespace micropnp {
 namespace {
 
-struct CellResult {
-  int attempted = 0;
-  int completed = 0;
-  std::vector<double> latencies_ms;  // completed operations only
-  uint64_t retransmits = 0;
-  uint64_t deadline_exceeded = 0;
-
-  double Percentile(double p) const {
-    if (latencies_ms.empty()) {
-      return 0.0;
-    }
-    std::vector<double> sorted = latencies_ms;
-    std::sort(sorted.begin(), sorted.end());
-    const size_t idx = static_cast<size_t>(p * static_cast<double>(sorted.size() - 1) + 0.5);
-    return sorted[std::min(idx, sorted.size() - 1)];
-  }
-};
-
-CellResult RunCell(int num_things, double loss_rate, int rounds, uint64_t seed) {
-  DeploymentConfig config;
-  config.seed = seed;
-  Deployment deployment(config);
-  MicroPnpManager& manager = deployment.AddManager();
-  (void)manager;
-  // Headroom above the largest round (N=64 concurrent reads), so nothing is
-  // rejected for capacity; the diagnostic below guards the invariant.
-  MicroPnpClient& gateway = deployment.AddClient("gateway", nullptr, /*max_in_flight=*/256);
-
-  // Bring the fleet up on lossless links (driver install is bench_multihop's
-  // story; this bench measures steady-state operations).
-  Result<DriverImage> image = CompileDriver(FindBundledDriver(kTmp36TypeId)->source);
-  std::vector<MicroPnpThing*> things;
-  std::vector<Tmp36*> sensors;
-  for (int i = 0; i < num_things; ++i) {
-    MicroPnpThing& thing = deployment.AddThing("thing-" + std::to_string(i));
-    (void)thing.PreinstallDriver(*image);
-    Tmp36& sensor = deployment.MakeTmp36();
-    if (!thing.Plug(0, &sensor).ok()) {
-      continue;
-    }
-    things.push_back(&thing);
-    sensors.push_back(&sensor);
-  }
-  deployment.RunForMillis(3000);
-
-  LinkModel lossy = config.link;
-  lossy.loss_rate = loss_rate;
-  deployment.fabric().set_link(lossy);
-
-  RequestOptions options;
-  options.deadline_ms = 2000.0;
-  options.max_retransmits = 3;
-  options.initial_backoff_ms = 200.0;
-
-  CellResult result;
-  const uint64_t retransmits_before = gateway.endpoint().counters().retransmits;
-  const uint64_t deadlines_before = gateway.endpoint().counters().deadline_exceeded;
-  for (int round = 0; round < rounds; ++round) {
-    int outstanding = 0;
-    for (MicroPnpThing* thing : things) {
-      const double started_ms = deployment.NowMillis();
-      ++result.attempted;
-      ++outstanding;
-      gateway.Read(
-          thing->node().address(), kTmp36TypeId,
-          [&result, &outstanding, &deployment, started_ms](Result<WireValue> value) {
-            --outstanding;
-            if (value.ok()) {
-              ++result.completed;
-              result.latencies_ms.push_back(deployment.NowMillis() - started_ms);
-            }
-          },
-          options);
-    }
-    // Let the round drain fully (every operation completes by its deadline).
-    deployment.RunForMillis(options.deadline_ms + 500.0);
-    if (outstanding != 0) {
-      std::printf("!! round did not drain: %d outstanding\n", outstanding);
+int Run(bool smoke, bool full, const std::string& out_path) {
+  std::vector<GatewayBenchOptions> cells;
+  if (smoke) {
+    GatewayBenchOptions tiny;
+    tiny.num_things = 16;
+    tiny.total_reads = 64;
+    tiny.window = 16;
+    cells.push_back(tiny);
+    GatewayBenchOptions lossy = tiny;
+    lossy.loss_rate = 0.1;
+    cells.push_back(lossy);
+  } else {
+    for (int n : full ? std::vector<int>{1000, 10000, 100000}
+                      : std::vector<int>{1000, 10000}) {
+      GatewayBenchOptions opt;
+      opt.num_things = n;
+      // Each Thing is read once, capped so the 100k stretch cell samples the
+      // fleet (round-robin from thing 0) instead of running for hours.
+      opt.total_reads = n <= 20000 ? n : 20000;
+      opt.window = 256;
+      opt.seed = 2015 + static_cast<uint64_t>(n);
+      cells.push_back(opt);
     }
   }
-  result.retransmits = gateway.endpoint().counters().retransmits - retransmits_before;
-  result.deadline_exceeded =
-      gateway.endpoint().counters().deadline_exceeded - deadlines_before;
-  if (gateway.endpoint().counters().rejected_capacity != 0) {
-    std::printf("!! %llu operations rejected for capacity — results understate completion\n",
-                static_cast<unsigned long long>(gateway.endpoint().counters().rejected_capacity));
-  }
-  return result;
-}
 
-void Run() {
-  std::printf("=== gateway: 1 manager + N things, reads over a lossy fabric ===\n");
-  std::printf("(deadline 2000 ms, <=3 retransmits, 200 ms initial backoff; 5 rounds)\n\n");
-  std::printf("%7s %7s | %10s %10s %10s | %12s %10s\n", "things", "loss", "completed",
-              "p50 (ms)", "p99 (ms)", "retransmits", "deadline");
-  for (int num_things : {4, 16, 64}) {
-    for (double loss : {0.0, 0.05, 0.2}) {
-      CellResult cell = RunCell(num_things, loss, /*rounds=*/5,
-                                20150428 + static_cast<uint64_t>(num_things * 1000 + loss * 100));
-      std::printf("%7d %6.0f%% | %6d/%-3d %10.1f %10.1f | %12llu %10llu\n", num_things,
-                  loss * 100.0, cell.completed, cell.attempted, cell.Percentile(0.5),
-                  cell.Percentile(0.99), static_cast<unsigned long long>(cell.retransmits),
-                  static_cast<unsigned long long>(cell.deadline_exceeded));
+  std::printf("=== gateway: closed-loop reads, window-bounded, N things ===\n");
+  std::printf("%8s %6s %7s | %9s %9s | %8s %12s | %12s\n", "things", "loss", "reads", "p50 (ms)",
+              "p99 (ms)", "peak", "sim events", "events/s");
+  std::vector<GatewayBenchResult> results;
+  bool ok = true;
+  for (const GatewayBenchOptions& opt : cells) {
+    GatewayBenchResult r = RunGatewayBench(opt);
+    std::printf("%8d %5.0f%% %7llu | %9.1f %9.1f | %8llu %12llu | %12.0f\n", r.num_things,
+                r.loss_rate * 100.0, static_cast<unsigned long long>(r.issued), r.p50_ms, r.p99_ms,
+                static_cast<unsigned long long>(r.peak_in_flight),
+                static_cast<unsigned long long>(r.scheduler_events), r.events_per_second);
+    if (r.completed + r.deadline_exceeded != r.issued || r.final_in_flight != 0) {
+      std::printf("!! cell did not drain: %llu issued, %llu completed, %llu deadline, "
+                  "%llu still in flight\n",
+                  static_cast<unsigned long long>(r.issued),
+                  static_cast<unsigned long long>(r.completed),
+                  static_cast<unsigned long long>(r.deadline_exceeded),
+                  static_cast<unsigned long long>(r.final_in_flight));
+      ok = false;
     }
+    results.push_back(r);
   }
-  std::printf("\n-> every operation completes exactly once (reply or deadline); retransmit-\n");
-  std::printf("   with-backoff holds the completion rate high at 20%% frame loss, where the\n");
-  std::printf("   seed's single-shot requests lost ~%d%% of operations (cf. bench_multihop).\n",
-              100 - static_cast<int>(100 * 0.8 * 0.8 * 0.8 * 0.8));
+
+  const std::string json = GatewayBenchJson(results);
+  if (std::FILE* f = std::fopen(out_path.c_str(), "w")) {
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("\nwrote %s\n", out_path.c_str());
+  } else {
+    std::printf("!! could not write %s\n", out_path.c_str());
+    ok = false;
+  }
+  return ok ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace micropnp
 
-int main() {
-  micropnp::Run();
-  return 0;
+int main(int argc, char** argv) {
+  bool smoke = false;
+  bool full = false;
+  std::string out_path = "BENCH_gateway.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--full") == 0) {
+      full = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::printf("usage: bench_gateway [--smoke] [--full] [--out PATH]\n");
+      return 2;
+    }
+  }
+  return micropnp::Run(smoke, full, out_path);
 }

@@ -62,6 +62,36 @@ std::shared_ptr<const DecodedImage> DecodeMixDriver() {
 
 // ---- paper-comparable numbers (AVR cycle model) ----------------------------
 
+// Deterministic cycle-model metrics, also written to BENCH_vm.json so
+// regressions in modeled cost are machine-checkable (wall-clock numbers are
+// google-benchmark's, available via --benchmark_out).  Schema documented in
+// docs/BENCHMARKS.md.
+struct CycleModelMetrics {
+  double avg_instruction_us = 0.0;
+  double push_us = 0.0;
+  double pop_us = 0.0;
+  double router_us_per_event = 0.0;  // at n=10000
+  uint64_t handler_instructions = 0;
+  double handler_us = 0.0;
+};
+
+void WriteVmJson(const CycleModelMetrics& m, const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::printf("!! could not write %s\n", path);
+    return;
+  }
+  std::fprintf(f,
+               "{\"bench\": \"vm\", \"schema_version\": 1, \"deterministic\": "
+               "{\"avg_instruction_us\": %.6f, \"push_us\": %.6f, \"pop_us\": %.6f, "
+               "\"router_us_per_event\": %.6f, \"handler_instructions\": %llu, "
+               "\"handler_us\": %.6f}}\n",
+               m.avg_instruction_us, m.push_us, m.pop_us, m.router_us_per_event,
+               static_cast<unsigned long long>(m.handler_instructions), m.handler_us);
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
 void ReportCycleModel() {
   std::printf("=== Section 6.2: VM and event router performance ===\n\n");
 
@@ -94,6 +124,11 @@ void ReportCycleModel() {
   std::printf("%-40s %10s %8.2f us\n", "push() stack operation", "11.1 us", push_us);
   std::printf("%-40s %10s %8.2f us\n", "pop() stack operation", "8.9 us", pop_us);
 
+  CycleModelMetrics metrics;
+  metrics.avg_instruction_us = avg_us;
+  metrics.push_us = push_us;
+  metrics.pop_us = pop_us;
+
   // Event router: per-event cost and linear scaling.
   for (int n : {100, 1000, 10000}) {
     EventRouter router;
@@ -103,6 +138,7 @@ void ReportCycleModel() {
     }
     std::printf("%-28s n=%-10d %10s %8.2f us/event\n", "event router", n,
                 n == 100 ? "77.79 us" : "(linear)", router.MicrosAtMcuClock() / n);
+    metrics.router_us_per_event = router.MicrosAtMcuClock() / n;
   }
 
   // Whole-driver sanity: the representative mix on the cycle clock, via both
@@ -115,7 +151,10 @@ void ReportCycleModel() {
     std::printf("\nrepresentative handler: %llu instructions, %.1f us on the modeled AVR\n",
                 static_cast<unsigned long long>(r.instructions),
                 static_cast<double>(r.cycles) / kMcuClockHz * 1e6);
+    metrics.handler_instructions = r.instructions;
+    metrics.handler_us = static_cast<double>(r.cycles) / kMcuClockHz * 1e6;
   }
+  WriteVmJson(metrics, "BENCH_vm.json");
   std::printf("\n--- host wall-clock throughput (google-benchmark) ---\n");
 }
 

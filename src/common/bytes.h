@@ -22,6 +22,11 @@ using ByteSpan = std::span<const uint8_t>;
 class ByteWriter {
  public:
   ByteWriter() = default;
+  // Adopts `reuse` as the output buffer (cleared, capacity kept), so hot
+  // paths can serialize repeatedly without reallocating.
+  explicit ByteWriter(std::vector<uint8_t>&& reuse) : buffer_(std::move(reuse)) {
+    buffer_.clear();
+  }
 
   void WriteU8(uint8_t v) { buffer_.push_back(v); }
   void WriteU16(uint16_t v) {

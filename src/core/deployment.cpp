@@ -14,7 +14,9 @@ Deployment::Deployment(const DeploymentConfig& config)
 Ip6Address Deployment::NextUnicastAddress() {
   std::optional<Ip6Address> base = Ip6Address::Parse(config_.prefix + "::");
   Ip6Address addr = base.value_or(Ip6Address());
-  addr.set_group(7, next_host_++);
+  addr.set_group(6, static_cast<uint16_t>(next_host_ >> 16));
+  addr.set_group(7, static_cast<uint16_t>(next_host_));
+  ++next_host_;
   return addr;
 }
 

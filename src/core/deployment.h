@@ -78,7 +78,9 @@ class Deployment {
   Environment environment_;
   Fabric fabric_;
   NetNode* root_;
-  uint16_t next_host_ = 1;
+  // 32-bit so 100k-node fleets still get unique addresses (the host part
+  // spans address groups 6 and 7).
+  uint32_t next_host_ = 1;
   std::vector<std::unique_ptr<MicroPnpThing>> things_;
   std::vector<std::unique_ptr<MicroPnpClient>> clients_;
   std::vector<std::unique_ptr<MicroPnpManager>> managers_;

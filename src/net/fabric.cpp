@@ -73,6 +73,7 @@ Fabric::Fabric(Scheduler& scheduler, uint64_t seed, const LinkModel& link)
 NetNode* Fabric::CreateNode(const std::string& name, const Ip6Address& unicast,
                             const NodeProfile& profile, NetNode* parent) {
   nodes_.push_back(std::unique_ptr<NetNode>(new NetNode(*this, name, unicast, profile, parent)));
+  nodes_by_address_[unicast] = nodes_.back().get();
   return nodes_.back().get();
 }
 
@@ -103,70 +104,47 @@ int Fabric::HopDistance(const NetNode& a, const NetNode& b) const {
   return hops;
 }
 
-std::vector<Fabric::Transfer> BuildTransfers(const std::vector<NetNode*>& path, NetNode* src) {
-  std::vector<Fabric::Transfer> hops;
+const std::vector<Fabric::Transfer>& Fabric::BuildTransfers(const std::vector<NetNode*>& path,
+                                                            NetNode* src) {
+  hops_scratch_.clear();
   NetNode* prev = src;
   for (NetNode* next : path) {
-    hops.push_back({prev, next});
+    hops_scratch_.push_back({prev, next});
     prev = next;
   }
-  return hops;
+  return hops_scratch_;
 }
 
-std::vector<NetNode*> Fabric::TreePath(NetNode& src, NetNode& dst) const {
-  // Collect ancestors of both, find the meeting point.
-  std::vector<NetNode*> up;      // src -> ... -> common (exclusive of src)
-  std::vector<NetNode*> down;    // common -> ... -> dst
+const std::vector<NetNode*>& Fabric::TreePath(NetNode& src, NetNode& dst) {
+  // Depth-lockstep walk to the lowest common ancestor: O(depth) with no
+  // chain materialization or membership scans.  path_scratch_ accumulates
+  // the up segment (src's ancestors through the common node, exclusive of
+  // src); down_scratch_ accumulates the down segment (dst up to, exclusive
+  // of, the common node) which is appended in reverse.
+  path_scratch_.clear();
+  down_scratch_.clear();
   NetNode* a = &src;
   NetNode* b = &dst;
-  std::vector<NetNode*> a_chain{a};
-  while (a->parent() != nullptr) {
+  while (a->depth() > b->depth()) {
     a = a->parent();
-    a_chain.push_back(a);
+    path_scratch_.push_back(a);
   }
-  std::vector<NetNode*> b_chain{b};
-  while (b->parent() != nullptr) {
+  while (b->depth() > a->depth()) {
+    down_scratch_.push_back(b);
     b = b->parent();
-    b_chain.push_back(b);
   }
-  // Find the lowest common node.
-  NetNode* common = nullptr;
-  for (NetNode* candidate : a_chain) {
-    if (std::find(b_chain.begin(), b_chain.end(), candidate) != b_chain.end()) {
-      common = candidate;
-      break;
+  while (a != b) {
+    if (a->parent() == nullptr || b->parent() == nullptr) {
+      path_scratch_.clear();  // disjoint trees: unroutable
+      return path_scratch_;
     }
+    a = a->parent();
+    path_scratch_.push_back(a);
+    down_scratch_.push_back(b);
+    b = b->parent();
   }
-  if (common == nullptr) {
-    return {};  // disjoint trees: unroutable
-  }
-  for (NetNode* node : a_chain) {
-    if (node == &src) {
-      continue;
-    }
-    up.push_back(node);
-    if (node == common) {
-      break;
-    }
-  }
-  if (common == &src) {
-    up.clear();
-  }
-  // Down segment: walk b_chain until common, then reverse.
-  for (NetNode* node : b_chain) {
-    if (node == common) {
-      break;
-    }
-    down.push_back(node);
-  }
-  std::reverse(down.begin(), down.end());
-
-  std::vector<NetNode*> path = up;
-  path.insert(path.end(), down.begin(), down.end());
-  if (path.empty() && &src != &dst) {
-    path.push_back(&dst);
-  }
-  return path;
+  path_scratch_.insert(path_scratch_.end(), down_scratch_.rbegin(), down_scratch_.rend());
+  return path_scratch_;
 }
 
 std::optional<double> Fabric::SimulateHops(const std::vector<Transfer>& hops,
@@ -221,11 +199,10 @@ void Fabric::Route(NetNode& src, const Ip6Address& dst, uint16_t port,
     return;
   }
   // Plain unicast.
-  for (const std::unique_ptr<NetNode>& node : nodes_) {
-    if (node->address() == dst) {
-      RouteUnicast(src, *node, dst, port, payload);
-      return;
-    }
+  auto node = nodes_by_address_.find(dst);
+  if (node != nodes_by_address_.end()) {
+    RouteUnicast(src, *node->second, dst, port, payload);
+    return;
   }
   MLOG(kDebug, "net") << "no route to " << dst.ToString();
 }
@@ -239,11 +216,11 @@ void Fabric::RouteUnicast(NetNode& src, NetNode& dst, const Ip6Address& dst_addr
                              });
     return;
   }
-  std::vector<NetNode*> path = TreePath(src, dst);
+  const std::vector<NetNode*>& path = TreePath(src, dst);
   if (path.empty()) {
     return;
   }
-  std::vector<Transfer> hops = BuildTransfers(path, &src);
+  const std::vector<Transfer>& hops = BuildTransfers(path, &src);
   // Sender-side stack processing.
   double latency = src.profile().tx_processing_ms *
                    (1.0 + src.profile().jitter_fraction * rng_.Uniform(-1.0, 1.0));
@@ -277,29 +254,26 @@ void Fabric::RouteMulticast(NetNode& src, const Ip6Address& group, uint16_t port
                             const std::vector<uint8_t>& payload) {
   // Phase 1: the datagram climbs to the DODAG root.
   NetNode* root = &src;
-  std::vector<Transfer> up_hops;
+  hops_scratch_.clear();
   while (root->parent() != nullptr) {
-    up_hops.push_back({root, root->parent()});
+    hops_scratch_.push_back({root, root->parent()});
     root = root->parent();
   }
 
   const double tx = src.profile().tx_processing_ms *
                     (1.0 + src.profile().jitter_fraction * rng_.Uniform(-1.0, 1.0));
-  std::optional<double> climb = SimulateHops(up_hops, payload.size(), /*multicast=*/true);
+  std::optional<double> climb = SimulateHops(hops_scratch_, payload.size(), /*multicast=*/true);
   if (!climb.has_value()) {
     return;
   }
   double base_latency = tx + *climb;
 
   // Phase 2: distribute down the tree.
-  struct Pending {
-    NetNode* node;
-    double latency;
-  };
-  std::vector<Pending> queue{{root, base_latency}};
-  while (!queue.empty()) {
-    Pending current = queue.back();
-    queue.pop_back();
+  mcast_queue_.clear();
+  mcast_queue_.push_back({root, base_latency});
+  while (!mcast_queue_.empty()) {
+    Descent current = mcast_queue_.back();
+    mcast_queue_.pop_back();
 
     // Deliver locally if this node is a member (the source also receives its
     // own group traffic if subscribed, except we suppress the loopback).
@@ -320,8 +294,8 @@ void Fabric::RouteMulticast(NetNode& src, const Ip6Address& group, uint16_t port
       if (!forward) {
         continue;
       }
-      std::vector<Transfer> hop{{current.node, child}};
-      std::optional<double> wire = SimulateHops(hop, payload.size(), /*multicast=*/true);
+      single_hop_.assign(1, Transfer{current.node, child});
+      std::optional<double> wire = SimulateHops(single_hop_, payload.size(), /*multicast=*/true);
       if (!wire.has_value()) {
         continue;  // lost on this branch only
       }
@@ -331,7 +305,7 @@ void Fabric::RouteMulticast(NetNode& src, const Ip6Address& group, uint16_t port
       if (current.node == &src) {
         forward_cost = 0.0;
       }
-      queue.push_back({child, current.latency + *wire + forward_cost});
+      mcast_queue_.push_back({child, current.latency + *wire + forward_cost});
     }
   }
 }

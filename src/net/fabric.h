@@ -23,10 +23,11 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
-#include <set>
+#include <optional>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/common/bytes.h"
@@ -123,10 +124,10 @@ class NetNode {
   NetNode* parent_;
   std::vector<NetNode*> children_;
   int depth_ = 0;
-  std::map<uint16_t, UdpHandler> handlers_;
-  std::set<Ip6Address> groups_;
+  std::unordered_map<uint16_t, UdpHandler> handlers_;
+  std::unordered_set<Ip6Address> groups_;
   // Groups joined by this node or any descendant (SMRF pruning state).
-  std::map<Ip6Address, int> subtree_members_;
+  std::unordered_map<Ip6Address, int> subtree_members_;
   uint64_t datagrams_sent_ = 0;
   uint64_t datagrams_received_ = 0;
 };
@@ -172,8 +173,14 @@ class Fabric {
                       const std::vector<uint8_t>& payload);
   void UpdateSubtreeMembership(NetNode& node, const Ip6Address& group, int delta);
 
-  // Path along the tree (exclusive of src, inclusive of dst).
-  std::vector<NetNode*> TreePath(NetNode& src, NetNode& dst) const;
+  // Path along the tree (exclusive of src, inclusive of dst), built by a
+  // depth-lockstep walk to the lowest common ancestor.  The result lives in
+  // a scratch buffer reused across calls: routing runs at gateway datagram
+  // rates, and Route never re-enters (delivery happens later, from scheduler
+  // callbacks), so per-datagram path vectors would be pure allocator churn.
+  const std::vector<NetNode*>& TreePath(NetNode& src, NetNode& dst);
+  // Per-link transfers along `path`, starting from `src` (scratch-backed).
+  const std::vector<Transfer>& BuildTransfers(const std::vector<NetNode*>& path, NetNode* src);
   // Simulates the hop-by-hop delivery delay, counting frames; returns the
   // total latency or nullopt if a frame was lost.
   std::optional<double> SimulateHops(const std::vector<Transfer>& hops, size_t payload_bytes,
@@ -184,7 +191,20 @@ class Fabric {
   LinkModel link_;
   MulticastMode multicast_mode_ = MulticastMode::kSmrf;
   std::vector<std::unique_ptr<NetNode>> nodes_;
-  std::map<Ip6Address, std::vector<NetNode*>> anycast_bindings_;
+  // O(1) unicast destination lookup (the seed scanned nodes_ linearly, which
+  // made every datagram O(N) at fleet scale).
+  std::unordered_map<Ip6Address, NetNode*> nodes_by_address_;
+  std::unordered_map<Ip6Address, std::vector<NetNode*>> anycast_bindings_;
+  // Scratch buffers for the routing hot path (see TreePath).
+  std::vector<NetNode*> path_scratch_;
+  std::vector<NetNode*> down_scratch_;
+  std::vector<Transfer> hops_scratch_;
+  std::vector<Transfer> single_hop_;
+  struct Descent {
+    NetNode* node;
+    double latency;
+  };
+  std::vector<Descent> mcast_queue_;
   uint64_t frames_transmitted_ = 0;
   uint64_t frames_lost_ = 0;
   uint64_t multicast_frames_ = 0;

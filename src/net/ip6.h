@@ -11,6 +11,7 @@
 #include <array>
 #include <compare>
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 
@@ -57,6 +58,33 @@ struct Ip6Prefix {
   bool Contains(const Ip6Address& addr) const;
 };
 
+// Mixes the 128 address bits down to a well-distributed 64-bit hash
+// (SplitMix64 finalizer over the two halves).  The hot-path routing and
+// pending tables key unordered containers on addresses with this.
+inline uint64_t HashIp6(const Ip6Address& addr) {
+  const auto& b = addr.bytes();
+  auto load64 = [&](int i) {
+    uint64_t v = 0;
+    for (int k = 0; k < 8; ++k) {
+      v = (v << 8) | b[static_cast<size_t>(i + k)];
+    }
+    return v;
+  };
+  auto mix = [](uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  };
+  return mix(load64(0) + 0x9e3779b97f4a7c15ull * mix(load64(8)));
+}
+
 }  // namespace micropnp
+
+template <>
+struct std::hash<micropnp::Ip6Address> {
+  size_t operator()(const micropnp::Ip6Address& addr) const noexcept {
+    return static_cast<size_t>(micropnp::HashIp6(addr));
+  }
+};
 
 #endif  // SRC_NET_IP6_H_

@@ -42,14 +42,19 @@ const Ip6Address& AnySourceKey() {
 }  // namespace
 
 ProtoEndpoint::ProtoEndpoint(Scheduler& scheduler, NetNode* node, size_t max_in_flight)
-    : scheduler_(scheduler), node_(node), max_in_flight_(max_in_flight) {}
+    : scheduler_(scheduler),
+      node_(node),
+      max_in_flight_(max_in_flight),
+      by_key_(max_in_flight) {}
 
 ProtoEndpoint::~ProtoEndpoint() {
   // Drop pending transactions without invoking handlers: during teardown the
   // captured state may already be gone.  Live-session cancellation (which
   // does complete handlers) is CancelAll().
-  for (auto& [id, entry] : pending_) {
-    scheduler_.Cancel(entry.timer);
+  for (PendingRequest& entry : slots_) {
+    if (entry.active) {
+      scheduler_.Cancel(entry.timer);
+    }
   }
   for (auto& [id, gather] : gathers_) {
     scheduler_.Cancel(gather.timer);
@@ -62,11 +67,58 @@ SequenceNumber ProtoEndpoint::AllocateSequence(const Ip6Address& peer) {
   // counter can never alias a transaction still in flight toward this peer.
   for (int attempts = 0; attempts < 65536; ++attempts) {
     const SequenceNumber seq = next_sequence_++;
-    if (by_key_.find({peer, seq}) == by_key_.end()) {
+    if (!by_key_.Contains(peer, seq)) {
       return seq;
     }
   }
   return next_sequence_++;
+}
+
+ProtoEndpoint::PendingRequest* ProtoEndpoint::Resolve(RequestId id) {
+  if (id == kInvalidRequest || (id & kGatherTag) != 0) {
+    return nullptr;
+  }
+  const uint64_t slot = (id & 0xffffffffull) - 1;
+  if (slot >= slots_.size()) {
+    return nullptr;
+  }
+  PendingRequest& entry = slots_[slot];
+  if (!entry.active || entry.generation != static_cast<uint32_t>(id >> 32)) {
+    return nullptr;
+  }
+  return &entry;
+}
+
+ProtoEndpoint::RequestId ProtoEndpoint::ClaimSlot() {
+  uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<uint32_t>(slots_.size());
+    slots_.emplace_back();
+    slots_.back().generation = 1;
+  }
+  PendingRequest& entry = slots_[slot];
+  entry.active = true;
+  ++active_requests_;
+  return (uint64_t{entry.generation} << 32) | (slot + 1);
+}
+
+void ProtoEndpoint::ReleaseSlot(RequestId id, PendingRequest& entry) {
+  entry.active = false;
+  ++entry.generation;
+  entry.accepted_replies.clear();
+  entry.handler = nullptr;
+  entry.wire.clear();  // capacity kept for the slot's next occupant
+  entry.options = RequestOptions{};
+  entry.timer = 0;
+  --active_requests_;
+  free_slots_.push_back(static_cast<uint32_t>((id & 0xffffffffull) - 1));
+}
+
+void ProtoEndpoint::NoteInFlight() {
+  counters_.peak_in_flight = std::max<uint64_t>(counters_.peak_in_flight, in_flight());
 }
 
 ProtoEndpoint::RequestId ProtoEndpoint::SendRequest(const Ip6Address& peer, MessageType type,
@@ -83,14 +135,14 @@ ProtoEndpoint::RequestId ProtoEndpoint::SendRequest(const Ip6Address& peer, Mess
   }
   const Ip6Address& key_peer = options.match_any_source ? AnySourceKey() : peer;
   const SequenceNumber seq = AllocateSequence(key_peer);
-  const RequestId id = next_request_id_++;
+  const RequestId id = ClaimSlot();
 
-  PendingRequest entry;
+  PendingRequest& entry = *Resolve(id);
   entry.peer = peer;
   entry.sequence = seq;
   entry.accepted_replies = std::move(accepted_replies);
   entry.handler = std::move(handler);
-  entry.wire = MakeMessage(type, seq, std::move(payload)).Serialize();
+  MakeMessage(type, seq, std::move(payload)).SerializeInto(entry.wire);
   entry.options = options;
   entry.deadline = scheduler_.now() + SimTime::FromMillis(options.deadline_ms);
   entry.next_backoff_ms = options.initial_backoff_ms;
@@ -98,9 +150,9 @@ ProtoEndpoint::RequestId ProtoEndpoint::SendRequest(const Ip6Address& peer, Mess
 
   node_->SendUdp(peer, kMicroPnpUdpPort, entry.wire);
   ++counters_.requests_started;
+  NoteInFlight();
 
-  by_key_[{key_peer, seq}] = id;
-  pending_[id] = std::move(entry);
+  by_key_.Insert(key_peer, seq, id);
   ArmTimer(id);
   return id;
 }
@@ -124,7 +176,7 @@ ProtoEndpoint::RequestId ProtoEndpoint::SendGather(const Ip6Address& group, Mess
     return kInvalidRequest;
   }
   const SequenceNumber seq = AllocateSequence(AnySourceKey());
-  const RequestId id = next_request_id_++;
+  const RequestId id = kGatherTag | next_gather_id_++;
 
   PendingGather gather;
   gather.group = group;
@@ -135,14 +187,14 @@ ProtoEndpoint::RequestId ProtoEndpoint::SendGather(const Ip6Address& group, Mess
   node_->SendUdp(group, kMicroPnpUdpPort, MakeMessage(type, seq, std::move(payload)).Serialize());
   ++counters_.requests_started;
 
-  by_key_[{AnySourceKey(), seq}] = id;
+  by_key_.Insert(AnySourceKey(), seq, id);
   gather.timer = scheduler_.ScheduleAfter(SimTime::FromMillis(window_ms), [this, id] {
     auto it = gathers_.find(id);
     if (it == gathers_.end()) {
       return;
     }
     PendingGather done = std::move(it->second);
-    by_key_.erase({AnySourceKey(), done.sequence});
+    by_key_.Erase(AnySourceKey(), done.sequence);
     gathers_.erase(it);
     ++counters_.completed_ok;
     if (done.handler) {
@@ -150,54 +202,51 @@ ProtoEndpoint::RequestId ProtoEndpoint::SendGather(const Ip6Address& group, Mess
     }
   });
   gathers_[id] = std::move(gather);
+  NoteInFlight();
   return id;
 }
 
 void ProtoEndpoint::ArmTimer(RequestId id) {
-  auto it = pending_.find(id);
-  if (it == pending_.end()) {
+  PendingRequest* entry = Resolve(id);
+  if (entry == nullptr) {
     return;
   }
-  PendingRequest& entry = it->second;
-  SimTime next = entry.deadline;
-  if (entry.retransmits_left > 0) {
-    const SimTime retransmit_at = scheduler_.now() + SimTime::FromMillis(entry.next_backoff_ms);
+  SimTime next = entry->deadline;
+  if (entry->retransmits_left > 0) {
+    const SimTime retransmit_at = scheduler_.now() + SimTime::FromMillis(entry->next_backoff_ms);
     if (retransmit_at < next) {
       next = retransmit_at;
     }
   }
-  entry.timer = scheduler_.ScheduleAt(next, [this, id] { OnTimer(id); });
+  entry->timer = scheduler_.ScheduleAt(next, [this, id] { OnTimer(id); });
 }
 
 void ProtoEndpoint::OnTimer(RequestId id) {
-  auto it = pending_.find(id);
-  if (it == pending_.end()) {
+  PendingRequest* entry = Resolve(id);
+  if (entry == nullptr) {
     return;
   }
-  PendingRequest& entry = it->second;
-  if (scheduler_.now() >= entry.deadline) {
+  if (scheduler_.now() >= entry->deadline) {
     Complete(id, DeadlineExceeded(std::string("no reply from peer for ") +
-                                  MessageTypeName(static_cast<MessageType>(entry.wire[0]))));
+                                  MessageTypeName(static_cast<MessageType>(entry->wire[0]))));
     return;
   }
   // Retransmit the stored wire bytes and back off.
-  node_->SendUdp(entry.peer, kMicroPnpUdpPort, entry.wire);
+  node_->SendUdp(entry->peer, kMicroPnpUdpPort, entry->wire);
   ++counters_.retransmits;
-  --entry.retransmits_left;
-  entry.next_backoff_ms *= entry.options.backoff_multiplier;
+  --entry->retransmits_left;
+  entry->next_backoff_ms *= entry->options.backoff_multiplier;
   ArmTimer(id);
 }
 
 void ProtoEndpoint::Complete(RequestId id, Result<Message> result) {
-  auto it = pending_.find(id);
-  if (it == pending_.end()) {
+  PendingRequest* entry = Resolve(id);
+  if (entry == nullptr) {
     return;
   }
-  PendingRequest entry = std::move(it->second);
-  scheduler_.Cancel(entry.timer);
-  const Ip6Address& key_peer = entry.options.match_any_source ? AnySourceKey() : entry.peer;
-  by_key_.erase({key_peer, entry.sequence});
-  pending_.erase(it);
+  scheduler_.Cancel(entry->timer);
+  const Ip6Address& key_peer = entry->options.match_any_source ? AnySourceKey() : entry->peer;
+  by_key_.Erase(key_peer, entry->sequence);
 
   if (result.ok()) {
     ++counters_.completed_ok;
@@ -206,13 +255,18 @@ void ProtoEndpoint::Complete(RequestId id, Result<Message> result) {
   } else if (result.status().code() == StatusCode::kCancelled) {
     ++counters_.cancelled;
   }
-  if (entry.handler) {
-    entry.handler(std::move(result));
+  // Release the slot before invoking the handler: handlers routinely submit
+  // follow-up requests, which may legitimately reuse it (the bumped
+  // generation retires this id).
+  ResponseHandler handler = std::move(entry->handler);
+  ReleaseSlot(id, *entry);
+  if (handler) {
+    handler(std::move(result));
   }
 }
 
 bool ProtoEndpoint::Cancel(RequestId id) {
-  if (pending_.count(id) != 0) {
+  if (Resolve(id) != nullptr) {
     Complete(id, CancelledError("request cancelled"));
     return true;
   }
@@ -220,7 +274,7 @@ bool ProtoEndpoint::Cancel(RequestId id) {
   if (g != gathers_.end()) {
     PendingGather done = std::move(g->second);
     scheduler_.Cancel(done.timer);
-    by_key_.erase({AnySourceKey(), done.sequence});
+    by_key_.Erase(AnySourceKey(), done.sequence);
     gathers_.erase(g);
     ++counters_.cancelled;
     if (done.handler) {
@@ -236,8 +290,10 @@ void ProtoEndpoint::CancelAll() {
   // requests, which must survive this sweep (and must not loop it forever).
   std::vector<RequestId> ids;
   ids.reserve(in_flight());
-  for (const auto& [id, entry] : pending_) {
-    ids.push_back(id);
+  for (size_t slot = 0; slot < slots_.size(); ++slot) {
+    if (slots_[slot].active) {
+      ids.push_back((uint64_t{slots_[slot].generation} << 32) | (slot + 1));
+    }
   }
   for (const auto& [id, gather] : gathers_) {
     ids.push_back(id);
@@ -253,26 +309,24 @@ bool ProtoEndpoint::HandleReply(const Ip6Address& src, const Message& message) {
            (!entry.options.accept || entry.options.accept(message));
   };
   // Exact (peer, sequence) match for unicast transactions.
-  auto key = by_key_.find({src, message.sequence});
-  if (key != by_key_.end()) {
-    auto it = pending_.find(key->second);
-    if (it != pending_.end() && request_accepts(it->second)) {
+  if (const RequestId id = by_key_.Find(src, message.sequence); id != 0) {
+    PendingRequest* entry = Resolve(id);
+    if (entry != nullptr && request_accepts(*entry)) {
       ++counters_.replies_matched;
-      Complete(key->second, message);
+      Complete(id, message);
       return true;
     }
   }
   // Any-source transactions (anycast requests, multicast gathers) are all
   // indexed under the shared sentinel key.
-  auto any = by_key_.find({AnySourceKey(), message.sequence});
-  if (any != by_key_.end()) {
-    auto it = pending_.find(any->second);
-    if (it != pending_.end() && request_accepts(it->second)) {
+  if (const RequestId id = by_key_.Find(AnySourceKey(), message.sequence); id != 0) {
+    PendingRequest* entry = Resolve(id);
+    if (entry != nullptr && request_accepts(*entry)) {
       ++counters_.replies_matched;
-      Complete(any->second, message);
+      Complete(id, message);
       return true;
     }
-    auto g = gathers_.find(any->second);
+    auto g = gathers_.find(id);
     if (g != gathers_.end() && Accepts(g->second.accepted_replies, message.type)) {
       ++counters_.replies_matched;
       g->second.replies.emplace_back(src, message);

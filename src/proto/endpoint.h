@@ -27,12 +27,13 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "src/net/fabric.h"
 #include "src/proto/messages.h"
+#include "src/proto/pending_index.h"
 
 namespace micropnp {
 
@@ -68,6 +69,7 @@ struct EndpointCounters {
   uint64_t rejected_capacity = 0;      // pending table full
   uint64_t stale_replies_dropped = 0;  // no pending transaction matched
   uint64_t replies_matched = 0;
+  uint64_t peak_in_flight = 0;         // high-water mark of the pending table
 };
 
 class ProtoEndpoint {
@@ -128,7 +130,7 @@ class ProtoEndpoint {
   // awaited by nothing and the message is not a request type).
   bool HandleReply(const Ip6Address& src, const Message& message);
 
-  size_t in_flight() const { return pending_.size() + gathers_.size(); }
+  size_t in_flight() const { return active_requests_ + gathers_.size(); }
   size_t max_in_flight() const { return max_in_flight_; }
   const EndpointCounters& counters() const { return counters_; }
 
@@ -137,7 +139,18 @@ class ProtoEndpoint {
   void SetNextSequenceForTest(SequenceNumber next) { next_sequence_ = next; }
 
  private:
+  // Requests live in a slot arena: a slot is reused (freelist) once its
+  // transaction completes, its wire/reply-type buffers keeping their
+  // capacity, so a steady stream of requests recycles storage instead of
+  // allocating.  A RequestId encodes (generation << 32) | (slot + 1); the
+  // generation is bumped on release so a stale id can never resolve to a
+  // recycled slot.  Gather transactions are rare (discovery windows) and
+  // carry the tag bit instead.
+  inline static constexpr RequestId kGatherTag = RequestId{1} << 63;
+
   struct PendingRequest {
+    bool active = false;
+    uint32_t generation = 0;
     Ip6Address peer;
     SequenceNumber sequence = 0;
     std::vector<MessageType> accepted_replies;
@@ -159,10 +172,20 @@ class ProtoEndpoint {
   };
 
   SequenceNumber AllocateSequence(const Ip6Address& peer);
+  // Resolves an id to its live arena entry; nullptr when the transaction
+  // already completed (stale id, or generation mismatch on a reused slot).
+  PendingRequest* Resolve(RequestId id);
+  // Claims a free slot (growing the arena only when all slots are busy) and
+  // returns its id.
+  RequestId ClaimSlot();
+  // Returns the slot behind `id` to the freelist, dropping per-transaction
+  // state but keeping buffer capacity for the next occupant.
+  void ReleaseSlot(RequestId id, PendingRequest& entry);
   void ArmTimer(RequestId id);
   void OnTimer(RequestId id);
   // Removes the entry and invokes its handler with `result`.
   void Complete(RequestId id, Result<Message> result);
+  void NoteInFlight();
 
   Scheduler& scheduler_;
   NetNode* node_;
@@ -171,13 +194,15 @@ class ProtoEndpoint {
   // enforced at allocation time against the pending table, so no per-peer
   // state accumulates for peers ever contacted.
   SequenceNumber next_sequence_ = 1;
-  std::map<RequestId, PendingRequest> pending_;
-  std::map<RequestId, PendingGather> gathers_;
-  // (peer, sequence) -> transaction, the matching index for incoming
+  std::vector<PendingRequest> slots_;
+  std::vector<uint32_t> free_slots_;
+  size_t active_requests_ = 0;
+  std::unordered_map<RequestId, PendingGather> gathers_;
+  // (peer, sequence) -> transaction id, the O(1) matching index for incoming
   // replies.  Gather entries index under (group, sequence) and additionally
   // match any source.
-  std::map<std::pair<Ip6Address, SequenceNumber>, RequestId> by_key_;
-  RequestId next_request_id_ = 1;
+  PendingIndex by_key_;
+  RequestId next_gather_id_ = 1;
   EndpointCounters counters_;
 };
 

@@ -345,14 +345,20 @@ bool PayloadMatchesType(MessageType type, const MessagePayload& payload) {
 }
 
 std::vector<uint8_t> Message::Serialize() const {
+  std::vector<uint8_t> out;
+  SerializeInto(out);
+  return out;
+}
+
+void Message::SerializeInto(std::vector<uint8_t>& out) const {
   assert(PayloadMatchesType(type, payload) && "message payload does not match wire type");
-  ByteWriter w;
+  ByteWriter w(std::move(out));
   w.WriteU8(static_cast<uint8_t>(type));
   w.WriteU16(sequence);
   if (PayloadMatchesType(type, payload)) {
     std::visit([&w](const auto& p) { p.Serialize(w); }, payload);
   }
-  return w.Take();
+  out = w.Take();
 }
 
 Result<Message> Message::Parse(ByteSpan bytes) {

@@ -209,6 +209,9 @@ struct Message {
   // (checked; a mismatched message serializes as an empty-payload header in
   // release builds and asserts in debug builds).
   std::vector<uint8_t> Serialize() const;
+  // Serializes into `out` (cleared first, capacity reused) — the endpoint's
+  // retransmit buffers go through this to avoid per-request allocation.
+  void SerializeInto(std::vector<uint8_t>& out) const;
   // Parses and validates: unknown types, payload/type mismatches and
   // truncated or trailing bytes are all parse errors, never crashes.
   static Result<Message> Parse(ByteSpan bytes);

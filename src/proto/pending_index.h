@@ -1,0 +1,68 @@
+// Flat hash index for in-flight transactions, keyed by (peer, sequence).
+//
+// The seed endpoint kept this mapping in a std::map: O(log n) with a pointer
+// chase per level and a node allocation per request — measurable at gateway
+// scale where every datagram in and out touches the table.  This is the
+// replacement: a fixed-capacity open-addressing table (linear probing,
+// backward-shift deletion, power-of-two sizing) allocated once at endpoint
+// construction.  Insert/Find/Erase are O(1) expected with load factor <= 0.5
+// (capacity is sized to twice the endpoint's max_in_flight bound), and the
+// steady state performs zero heap allocations.
+//
+// Backward-shift deletion keeps probe chains dense without tombstones, so
+// lookup cost cannot degrade over a long-lived endpoint's lifetime.
+
+#ifndef SRC_PROTO_PENDING_INDEX_H_
+#define SRC_PROTO_PENDING_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/net/ip6.h"
+
+namespace micropnp {
+
+class PendingIndex {
+ public:
+  // Sizes the table to the smallest power of two holding `max_entries` at
+  // <= 50% occupancy.  Insert beyond max_entries still works (up to the
+  // table's physical capacity); the endpoint's own in-flight bound is what
+  // keeps occupancy in the fast regime.
+  explicit PendingIndex(size_t max_entries);
+
+  // Returns false when the key is already present (or the table is
+  // physically full); the caller allocates sequences to avoid duplicates.
+  bool Insert(const Ip6Address& peer, uint16_t sequence, uint64_t value);
+  // Returns the mapped value, or 0 when absent (0 is never a valid id).
+  uint64_t Find(const Ip6Address& peer, uint16_t sequence) const;
+  bool Contains(const Ip6Address& peer, uint16_t sequence) const {
+    return Find(peer, sequence) != 0;
+  }
+  // Returns false when the key was absent.
+  bool Erase(const Ip6Address& peer, uint16_t sequence);
+
+  size_t size() const { return size_; }
+  size_t capacity() const { return cells_.size(); }
+
+ private:
+  struct Cell {
+    Ip6Address peer;
+    uint64_t value = 0;  // 0 = empty
+    uint16_t sequence = 0;
+  };
+
+  size_t Home(const Ip6Address& peer, uint16_t sequence) const {
+    return static_cast<size_t>(HashIp6(peer) + 0x9e3779b97f4a7c15ull * sequence) & mask_;
+  }
+  // Index of the cell holding the key, or of the first empty cell in its
+  // probe chain when absent.
+  size_t Probe(const Ip6Address& peer, uint16_t sequence) const;
+
+  std::vector<Cell> cells_;
+  size_t mask_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace micropnp
+
+#endif  // SRC_PROTO_PENDING_INDEX_H_

@@ -571,5 +571,127 @@ TEST(WireRobustness, LiveNodesSurviveGarbageOnPort6030) {
   EXPECT_TRUE(outcome->ok()) << outcome->ToString();
 }
 
+// ------------------------------------------------------- fleet-scale soak ----
+
+// 10k concurrent requests across 1k peers over a lossy fabric, with
+// randomized responder behaviour (reply, stay silent, duplicate the reply,
+// delay past the deadline) plus client-side cancellations racing completions.
+// Every request resolves exactly once, the accounting balances
+// (completed + deadline_exceeded + cancelled == issued), and the pending
+// table — sized for the burst, high-water mark 10k — drains back to zero.
+TEST(EndpointSoak, TenThousandConcurrentRequestsAcrossThousandPeers) {
+  constexpr int kPeers = 1000;
+  constexpr int kRequests = 10000;
+
+  DeploymentConfig config;
+  config.seed = 20150607;
+  Deployment deployment(config);
+  Scheduler& scheduler = deployment.scheduler();
+  Rng rng(config.seed);
+
+  NetNode* requester = deployment.AddRelayNode("requester");
+  ProtoEndpoint endpoint(scheduler, requester, /*max_in_flight=*/16384);
+  requester->BindUdp(kMicroPnpUdpPort,
+                     [&](const Ip6Address& src, const Ip6Address&, uint16_t,
+                         const std::vector<uint8_t>& payload) {
+                       Result<Message> m = Message::Parse(ByteSpan(payload.data(), payload.size()));
+                       if (m.ok()) {
+                         (void)endpoint.HandleReply(src, *m);
+                       }
+                     });
+
+  // Peers with scripted behaviour drawn per incoming request.
+  std::vector<NetNode*> peers;
+  peers.reserve(kPeers);
+  for (int i = 0; i < kPeers; ++i) {
+    NetNode* peer = deployment.AddRelayNode("peer-" + std::to_string(i));
+    peer->BindUdp(kMicroPnpUdpPort,
+                  [&, peer](const Ip6Address& src, const Ip6Address&, uint16_t,
+                            const std::vector<uint8_t>& payload) {
+                    Result<Message> m = Message::Parse(ByteSpan(payload.data(), payload.size()));
+                    if (!m.ok()) {
+                      return;
+                    }
+                    const double roll = rng.NextDouble();
+                    if (roll < 0.10) {
+                      return;  // silent: the requester's deadline resolves it
+                    }
+                    const int copies = roll < 0.25 ? 2 : 1;  // duplicates
+                    // Delays up to 2.5 s straddle the 1.5 s deadline, so some
+                    // replies arrive stale on purpose.
+                    const double delay_ms = rng.Uniform(1.0, 2500.0);
+                    const SequenceNumber seq = m->sequence;
+                    scheduler.ScheduleAfter(SimTime::FromMillis(delay_ms), [&, peer, src, seq,
+                                                                            copies] {
+                      WireValue v;
+                      v.scalar = 215;
+                      const std::vector<uint8_t> reply =
+                          MakeMessage(MessageType::kData, seq, ValuePayload{kTmp36TypeId, v})
+                              .Serialize();
+                      for (int c = 0; c < copies; ++c) {
+                        peer->SendUdp(src, kMicroPnpUdpPort, reply);
+                      }
+                    });
+                  });
+    peers.push_back(peer);
+  }
+
+  LinkModel lossy = config.link;
+  lossy.loss_rate = 0.05;
+  deployment.fabric().set_link(lossy);
+
+  RequestOptions options;
+  options.deadline_ms = 1500.0;
+  options.max_retransmits = 2;
+  options.initial_backoff_ms = 300.0;
+
+  int handler_fires = 0;
+  std::vector<ProtoEndpoint::RequestId> ids;
+  ids.reserve(kRequests);
+  for (int i = 0; i < kRequests; ++i) {
+    ProtoEndpoint::RequestId id = endpoint.SendRequest(
+        peers[static_cast<size_t>(i) % kPeers]->address(), MessageType::kRead,
+        DeviceTargetPayload{kTmp36TypeId}, {MessageType::kData},
+        [&handler_fires](Result<Message>) { ++handler_fires; }, options);
+    ASSERT_NE(id, ProtoEndpoint::kInvalidRequest) << "request " << i;
+    ids.push_back(id);
+  }
+  ASSERT_EQ(endpoint.in_flight(), static_cast<size_t>(kRequests));
+  EXPECT_EQ(endpoint.counters().peak_in_flight, static_cast<uint64_t>(kRequests));
+
+  // Cancel ~5% at random times while completions race in.
+  for (const ProtoEndpoint::RequestId id : ids) {
+    if (rng.Bernoulli(0.05)) {
+      scheduler.ScheduleAfter(SimTime::FromMillis(rng.Uniform(0.0, 1200.0)),
+                              [&endpoint, id] { (void)endpoint.Cancel(id); });
+    }
+  }
+
+  deployment.RunForMillis(10000);  // far past every deadline and stale reply
+
+  EXPECT_EQ(endpoint.in_flight(), 0u) << "pending table did not drain";
+  EXPECT_EQ(handler_fires, kRequests);
+  const EndpointCounters& c = endpoint.counters();
+  EXPECT_EQ(c.requests_started, static_cast<uint64_t>(kRequests));
+  EXPECT_EQ(c.completed_ok + c.deadline_exceeded + c.cancelled,
+            static_cast<uint64_t>(kRequests));
+  EXPECT_EQ(c.rejected_capacity, 0u);
+  // The randomized mix must actually exercise each outcome.
+  EXPECT_GT(c.completed_ok, 0u);
+  EXPECT_GT(c.deadline_exceeded, 0u);
+  EXPECT_GT(c.cancelled, 0u);
+  EXPECT_GT(c.retransmits, 0u);
+  EXPECT_GT(c.stale_replies_dropped, 0u);
+
+  // The endpoint is still fully serviceable after the storm.
+  int after_fires = 0;
+  (void)endpoint.SendRequest(peers[0]->address(), MessageType::kRead,
+                             DeviceTargetPayload{kTmp36TypeId}, {MessageType::kData},
+                             [&after_fires](Result<Message>) { ++after_fires; }, options);
+  deployment.RunForMillis(5000);
+  EXPECT_EQ(after_fires, 1);
+  EXPECT_EQ(endpoint.in_flight(), 0u);
+}
+
 }  // namespace
 }  // namespace micropnp
