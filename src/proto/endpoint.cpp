@@ -1,6 +1,7 @@
 #include "src/proto/endpoint.h"
 
 #include <algorithm>
+#include <cassert>
 
 #include "src/common/logging.h"
 
@@ -148,11 +149,26 @@ ProtoEndpoint::RequestId ProtoEndpoint::SendRequest(const Ip6Address& peer, Mess
   entry.next_backoff_ms = options.initial_backoff_ms;
   entry.retransmits_left = options.max_retransmits;
 
+  if (!by_key_.Insert(key_peer, seq, id)) {
+    // AllocateSequence just verified (key_peer, seq) is free and the index
+    // is sized for max_in_flight_, so this should be unreachable — but an
+    // unindexed request can never match a reply, so fail it loudly now
+    // rather than let it silently burn its whole retransmit/deadline budget.
+    assert(false && "pending index rejected a freshly allocated key");
+    MLOG(kError, "endpoint") << "pending index rejected seq " << seq
+                             << "; failing request instead of leaving it unmatchable";
+    ResponseHandler failed_handler = std::move(entry.handler);
+    ReleaseSlot(id, entry);
+    ++counters_.rejected_capacity;
+    if (failed_handler) {
+      failed_handler(InternalError("pending index insert failed"));
+    }
+    return kInvalidRequest;
+  }
+
   node_->SendUdp(peer, kMicroPnpUdpPort, entry.wire);
   ++counters_.requests_started;
   NoteInFlight();
-
-  by_key_.Insert(key_peer, seq, id);
   ArmTimer(id);
   return id;
 }
@@ -184,10 +200,21 @@ ProtoEndpoint::RequestId ProtoEndpoint::SendGather(const Ip6Address& group, Mess
   gather.accepted_replies = std::move(accepted_replies);
   gather.handler = std::move(handler);
 
+  if (!by_key_.Insert(AnySourceKey(), seq, id)) {
+    // Same invariant as SendRequest: the sequence was just checked free and
+    // the index has capacity headroom, so surface any violation immediately.
+    assert(false && "pending index rejected a freshly allocated key");
+    MLOG(kError, "endpoint") << "pending index rejected gather seq " << seq
+                             << "; failing request instead of leaving it unmatchable";
+    ++counters_.rejected_capacity;
+    if (gather.handler) {
+      gather.handler(InternalError("pending index insert failed"));
+    }
+    return kInvalidRequest;
+  }
+
   node_->SendUdp(group, kMicroPnpUdpPort, MakeMessage(type, seq, std::move(payload)).Serialize());
   ++counters_.requests_started;
-
-  by_key_.Insert(AnySourceKey(), seq, id);
   gather.timer = scheduler_.ScheduleAfter(SimTime::FromMillis(window_ms), [this, id] {
     auto it = gathers_.find(id);
     if (it == gathers_.end()) {

@@ -66,7 +66,7 @@ struct EndpointCounters {
   uint64_t deadline_exceeded = 0;
   uint64_t cancelled = 0;
   uint64_t retransmits = 0;
-  uint64_t rejected_capacity = 0;      // pending table full
+  uint64_t rejected_capacity = 0;      // pending table full or index insert failed
   uint64_t stale_replies_dropped = 0;  // no pending transaction matched
   uint64_t replies_matched = 0;
   uint64_t peak_in_flight = 0;         // high-water mark of the pending table
@@ -96,7 +96,10 @@ class ProtoEndpoint {
   // the first reply whose type is in `accepted_replies` and whose
   // (source, sequence) matches, or with an error Status.  When the pending
   // table is full the handler fires immediately (same turn) with
-  // kResourceExhausted and kInvalidRequest is returned.
+  // kResourceExhausted and kInvalidRequest is returned.  (If the pending
+  // index ever rejects a freshly allocated key — an invariant violation —
+  // the handler likewise fires immediately, with kInternal, rather than
+  // leaving a request no reply could match.)
   RequestId SendRequest(const Ip6Address& peer, MessageType type, MessagePayload payload,
                         std::vector<MessageType> accepted_replies, ResponseHandler handler,
                         const RequestOptions& options = RequestOptions{});

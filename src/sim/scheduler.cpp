@@ -98,6 +98,11 @@ bool Scheduler::Cancel(EventId id) {
   return true;
 }
 
+void Scheduler::SortReadyBySequence() {
+  std::sort(ready_.begin(), ready_.end(),
+            [](const Entry& a, const Entry& b) { return a.sequence < b.sequence; });
+}
+
 bool Scheduler::AdvanceToNext(uint64_t limit_ns) {
   for (;;) {
     // Serve from the ready list first, skipping cancelled entries.
@@ -125,7 +130,11 @@ bool Scheduler::AdvanceToNext(uint64_t limit_ns) {
       }
     }
     if (ready_next_ < ready_.size()) {
-      continue;  // migration landed entries due exactly at base_: serve them
+      // Migration landed entries due exactly at base_.  Cancellation's
+      // swap-and-pop may have perturbed their bucket order, so restore FIFO
+      // before serving (they all share one timestamp).
+      SortReadyBySequence();
+      continue;
     }
 
     // Lowest level with an occupied slot after the cursor holds the next
@@ -170,8 +179,7 @@ bool Scheduler::AdvanceToNext(uint64_t limit_ns) {
       // A level-0 slot spans exactly one nanosecond: every entry is due at
       // slot_start.  Sorting by sequence restores global FIFO order.
       std::swap(ready_, vec);
-      std::sort(ready_.begin(), ready_.end(),
-                [](const Entry& a, const Entry& b) { return a.sequence < b.sequence; });
+      SortReadyBySequence();
       for (const Entry& entry : ready_) {
         records_[entry.id].location = Location::kReady;
       }
@@ -185,6 +193,12 @@ bool Scheduler::AdvanceToNext(uint64_t limit_ns) {
     stats_.cascaded_entries += cascade.size();
     for (const Entry& entry : cascade) {
       Insert(entry, records_[entry.id]);
+    }
+    if (!ready_.empty()) {
+      // Entries due exactly at the slot's start (64-aligned timestamps)
+      // land straight on the ready list; as above, re-sort by sequence in
+      // case cancellation perturbed the slot's order.
+      SortReadyBySequence();
     }
   }
 }

@@ -15,11 +15,14 @@
 //
 // Exact discrete-event semantics are preserved (and differentially tested in
 // tests/timing_wheel_test.cpp against ReferenceScheduler, the seed heap):
-// a level-0 slot covers exactly one nanosecond, so every event in it shares
-// one timestamp and a sequence sort restores global FIFO order.  Cancelled
+// events reach the ready list only when they share a single timestamp —
+// via a level-0 slot (which covers exactly one nanosecond) or due exactly at
+// the wheel origin after a cascade or overflow migration — and every such
+// batch is sorted by sequence to restore global FIFO order.  Cancelled
 // events are removed from their slot immediately (swap-and-pop, with the
 // id -> location table patched), so the wheel holds no tombstones and memory
-// stays O(pending events).
+// stays O(pending events); the sequence sort is what makes that reordering
+// invisible.
 
 #ifndef SRC_SIM_SCHEDULER_H_
 #define SRC_SIM_SCHEDULER_H_
@@ -126,6 +129,10 @@ class Scheduler {
   // Pops the live head of the ready list and runs it (caller guarantees one
   // exists via AdvanceToNext).
   void ExecuteReadyHead();
+  // Restores FIFO order among the same-timestamp entries on the ready list
+  // (Excise's swap-and-pop perturbs slot/bucket order, so every batch moved
+  // onto the list must be re-sorted before serving).
+  void SortReadyBySequence();
 
   SimTime now_;
   // Wheel reference time: every pending event satisfies when >= base_ns_, and

@@ -92,6 +92,57 @@ TEST(TimingWheelTest, FarFutureEventsBeyondWheelSpanStillRun) {
   EXPECT_EQ(s.now(), SimTime::FromNanos(span_ns + 12345));
 }
 
+TEST(TimingWheelTest, CancelThenCascadePreservesFifoAtSlotAlignedTimes) {
+  // Regression: Excise's swap-and-pop perturbs a wheel slot's vector order.
+  // When a cascade later advances the origin exactly onto the entries'
+  // timestamp (any 64-aligned time slots above level 0), the entries land
+  // straight on the ready list and must still run in schedule order.
+  Scheduler s;
+  std::vector<int> order;
+  const SimTime t = SimTime::FromNanos(64);  // level-1 slot, 64-aligned
+  const Scheduler::EventId first = s.ScheduleAt(t, [&] { order.push_back(1); });
+  s.ScheduleAt(t, [&] { order.push_back(2); });
+  s.ScheduleAt(t, [&] { order.push_back(3); });
+  EXPECT_TRUE(s.Cancel(first));
+  EXPECT_EQ(s.Run(), 2u);
+  EXPECT_EQ(order, (std::vector<int>{2, 3}));
+
+  // Larger pattern at a whole-millisecond time (64-aligned in ns), with
+  // cancels interleaved through the batch.
+  order.clear();
+  const SimTime t2 = SimTime::FromMillis(5.0);
+  std::vector<Scheduler::EventId> ids;
+  for (int i = 0; i < 16; ++i) {
+    ids.push_back(s.ScheduleAt(t2, [&order, i] { order.push_back(i); }));
+  }
+  for (int i = 0; i < 16; i += 3) {
+    EXPECT_TRUE(s.Cancel(ids[i]));
+  }
+  EXPECT_EQ(s.Run(), 10u);
+  std::vector<int> expected;
+  for (int i = 0; i < 16; ++i) {
+    if (i % 3 != 0) {
+      expected.push_back(i);
+    }
+  }
+  EXPECT_EQ(order, expected);
+}
+
+TEST(TimingWheelTest, CancelThenOverflowMigrationPreservesFifo) {
+  // Same corner via the overflow spill map: events beyond the 2^60 ns span
+  // migrate into the wheel when the origin jumps to their window, and a
+  // bucket due exactly at the new origin lands straight on the ready list.
+  Scheduler s;
+  std::vector<int> order;
+  const SimTime t = SimTime::FromNanos(uint64_t{1} << 60);
+  const Scheduler::EventId first = s.ScheduleAt(t, [&] { order.push_back(1); });
+  s.ScheduleAt(t, [&] { order.push_back(2); });
+  s.ScheduleAt(t, [&] { order.push_back(3); });
+  EXPECT_TRUE(s.Cancel(first));
+  EXPECT_EQ(s.Run(), 2u);
+  EXPECT_EQ(order, (std::vector<int>{2, 3}));
+}
+
 TEST(TimingWheelTest, ActionsCanScheduleAndCancelReentrantly) {
   Scheduler s;
   std::vector<int> order;
@@ -134,16 +185,23 @@ void RunTrace(uint64_t seed) {
       // beyond the 2^60 ns wheel span to hit ready/overflow paths.
       uint64_t delay_ns;
       const uint64_t shape = rng.UniformInt(0, 9);
+      bool align64 = false;
       if (shape == 0) {
         delay_ns = 0;
       } else if (shape == 1) {
         delay_ns = rng.UniformInt(uint64_t{1} << 40, uint64_t{1} << 45);
       } else if (shape == 2) {
         delay_ns = (uint64_t{1} << 60) + rng.UniformInt(0, 1u << 20);
+      } else if (shape == 3) {
+        // 64-aligned absolute targets: equal-time batches with zero low bits
+        // reach the ready list via cascade/migration rather than a level-0
+        // collection — the FIFO-after-Cancel corner.
+        delay_ns = rng.UniformInt(0, 1'000'000);
+        align64 = true;
       } else {
         delay_ns = rng.UniformInt(0, 10'000'000);  // <= 10 ms
       }
-      const bool absolute = rng.Bernoulli(0.3);
+      const bool absolute = align64 || rng.Bernoulli(0.3);
       // Some actions schedule a follow-up from inside the callback.
       const bool nested = rng.Bernoulli(0.2);
       const uint64_t nested_delay = rng.UniformInt(0, 1'000'000);
@@ -158,7 +216,10 @@ void RunTrace(uint64_t seed) {
         };
       };
       if (absolute) {
-        const SimTime when = wheel.sched.now() + SimTime::FromNanos(delay_ns);
+        SimTime when = wheel.sched.now() + SimTime::FromNanos(delay_ns);
+        if (align64) {
+          when = SimTime::FromNanos(when.nanos() & ~uint64_t{63});  // may clamp to now
+        }
         wheel.ids.push_back(wheel.sched.ScheduleAt(when, make_action(wheel)));
         heap.ids.push_back(heap.sched.ScheduleAt(when, make_action(heap)));
       } else {
