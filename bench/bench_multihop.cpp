@@ -5,9 +5,15 @@
 // Measures the complete plug-in flow (identify + join + OTA driver install +
 // advertise) with the Thing placed 1..4 hops from the border router, and the
 // flow success rate under increasing frame loss.
+//
+// Flags:
+//   --smoke   reduced trial counts (CI-sized run)
+//   --check   exit non-zero when the lossy-flow success rate falls below the
+//             regression threshold (19/20 at 20% loss; 7/8 in smoke mode)
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 
 #include "src/core/deployment.h"
 
@@ -46,8 +52,9 @@ FlowResult RunFlow(int hops, double loss_rate, uint64_t seed) {
   if (!thing.Plug(0, &sensor).ok()) {
     return {};
   }
-  // Wide enough for the driver request's full retransmit schedule (up to
-  // 15 s deadline with exponential backoff) to play out.
+  // Wide enough for the driver request's full retransmit schedule, the
+  // chunked transfer's NACK repair, and the early trickle re-advertisement
+  // ticks (+1s, +2s, +4s, +8s) to play out.
   deployment.RunForMillis(16000);
 
   FlowResult result;
@@ -58,16 +65,16 @@ FlowResult RunFlow(int hops, double loss_rate, uint64_t seed) {
   return result;
 }
 
-void Run() {
+int Run(bool smoke, bool check) {
   std::printf("=== A4: plug-in flow vs hop count and frame loss (paper future work) ===\n\n");
 
-  std::printf("--- complete plug-in flow vs hops (lossless; 5 trials each) ---\n");
+  const int hop_trials = smoke ? 2 : 5;
+  std::printf("--- complete plug-in flow vs hops (lossless; %d trials each) ---\n", hop_trials);
   std::printf("%8s %18s %14s\n", "hops", "end-to-end (ms)", "completed");
   for (int hops = 1; hops <= 4; ++hops) {
     double sum = 0;
     int completed = 0;
-    const int kTrials = 5;
-    for (int t = 0; t < kTrials; ++t) {
+    for (int t = 0; t < hop_trials; ++t) {
       FlowResult r = RunFlow(hops, 0.0, 7000 + static_cast<uint64_t>(hops * 100 + t));
       if (r.completed) {
         sum += r.total_ms;
@@ -75,33 +82,66 @@ void Run() {
       }
     }
     std::printf("%8d %18.1f %11d/%d\n", hops, completed > 0 ? sum / completed : -1.0, completed,
-                kTrials);
+                hop_trials);
   }
 
-  std::printf("\n--- flow success rate vs frame loss (2 hops; 20 trials each) ---\n");
+  const int loss_trials = smoke ? 8 : 20;
+  const std::vector<double> losses =
+      smoke ? std::vector<double>{0.0, 0.20} : std::vector<double>{0.0, 0.01, 0.05, 0.10, 0.20};
+  // The hard floor this bench regresses against: the worst sweep point, 20%
+  // frame loss at 2 hops (three 0.8-survival links per datagram direction).
+  const int required = smoke ? 7 : 19;
+  int worst_completed = loss_trials;
+  std::printf("\n--- flow success rate vs frame loss (2 hops; %d trials each) ---\n", loss_trials);
   std::printf("%12s %14s\n", "loss rate", "success");
-  for (double loss : {0.0, 0.01, 0.05, 0.10, 0.20}) {
+  for (double loss : losses) {
     int completed = 0;
-    const int kTrials = 20;
-    for (int t = 0; t < kTrials; ++t) {
+    for (int t = 0; t < loss_trials; ++t) {
       if (RunFlow(2, loss, 9000 + static_cast<uint64_t>(loss * 1e4) + t).completed) {
         ++completed;
       }
     }
-    std::printf("%11.0f%% %11d/%d\n", loss * 100.0, completed, kTrials);
+    if (loss >= 0.20) {
+      worst_completed = completed;
+    }
+    std::printf("%11.0f%% %11d/%d\n", loss * 100.0, completed, loss_trials);
   }
-  std::printf("\n-> latency grows roughly linearly with hop count.  The driver request (4)\n");
-  std::printf("   now retransmits with backoff (ProtoEndpoint), so installation survives\n");
-  std::printf("   moderate loss; remaining failures are the one-shot advertisement (1),\n");
-  std::printf("   which has no reply to retry against, plus multi-fragment driver uploads\n");
-  std::printf("   lost past the retransmit budget.  bench_gateway measures the pure\n");
+  std::printf("\n-> latency grows roughly linearly with hop count.  Under loss the flow\n");
+  std::printf("   leans on three repair layers: the driver request (4) retransmits with\n");
+  std::printf("   backoff and re-arms after a failed deadline; the image moves as\n");
+  std::printf("   single-fragment (19) chunks with selective-repeat (20) NACKs (plus the\n");
+  std::printf("   (4)'s resume bitmap), so one lost frame re-sends one chunk, never the\n");
+  std::printf("   image; and lost one-shot advertisements (1) are repaired by the bounded\n");
+  std::printf("   trickle re-advertisement schedule.  bench_gateway measures the pure\n");
   std::printf("   request/response path under the same loss rates.\n");
+
+  if (check && worst_completed < required) {
+    std::printf("\nCHECK FAILED: %d/%d flows completed at 20%% loss (required >= %d)\n",
+                worst_completed, loss_trials, required);
+    return 1;
+  }
+  if (check) {
+    std::printf("\nCHECK OK: %d/%d flows completed at 20%% loss (required >= %d)\n",
+                worst_completed, loss_trials, required);
+  }
+  return 0;
 }
 
 }  // namespace
 }  // namespace micropnp
 
-int main() {
-  micropnp::Run();
-  return 0;
+int main(int argc, char** argv) {
+  bool smoke = false;
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--check]\n", argv[0]);
+      return 2;
+    }
+  }
+  return micropnp::Run(smoke, check);
 }

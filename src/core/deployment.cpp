@@ -32,11 +32,12 @@ MicroPnpManager& Deployment::AddManager(const std::string& name, NetNode* parent
   return *managers_.back();
 }
 
-MicroPnpThing& Deployment::AddThing(const std::string& name, NetNode* parent) {
+MicroPnpThing& Deployment::AddThing(const std::string& name, NetNode* parent,
+                                    const ThingConfig& thing_config) {
   NetNode* node = fabric_.CreateNode(name, NextUnicastAddress(), NodeProfile::Embedded(),
                                      parent != nullptr ? parent : root_);
   things_.push_back(std::make_unique<MicroPnpThing>(scheduler_, node, ControlBoardConfig{},
-                                                    rng_.NextU64()));
+                                                    rng_.NextU64(), thing_config));
   return *things_.back();
 }
 

@@ -47,7 +47,8 @@ class Deployment {
   // `parent == nullptr` attaches directly to the border router (one hop).
   MicroPnpManager& AddManager(const std::string& name = "manager", NetNode* parent = nullptr,
                               bool preload_bundled_drivers = true);
-  MicroPnpThing& AddThing(const std::string& name, NetNode* parent = nullptr);
+  MicroPnpThing& AddThing(const std::string& name, NetNode* parent = nullptr,
+                          const ThingConfig& thing_config = ThingConfig{});
   MicroPnpClient& AddClient(const std::string& name, NetNode* parent = nullptr,
                             size_t max_in_flight = 64);
   // A bare relay node extending the tree (for multi-hop topologies).

@@ -72,11 +72,15 @@ GatewayBenchResult RunGatewayBench(const GatewayBenchOptions& options) {
       "gateway", nullptr, /*max_in_flight=*/static_cast<size_t>(options.window) + 64);
 
   // Fleet bring-up on lossless links: compile once, preinstall everywhere.
+  // Re-advertisement is disabled — this bench isolates the read path, and
+  // 10k concurrent trickle ladders would only perturb the event counts.
+  ThingConfig thing_config;
+  thing_config.readvertise_min_ms = 0.0;
   Result<DriverImage> image = CompileDriver(FindBundledDriver(kTmp36TypeId)->source);
   std::vector<MicroPnpThing*> things;
   things.reserve(static_cast<size_t>(options.num_things));
   for (int i = 0; i < options.num_things; ++i) {
-    MicroPnpThing& thing = deployment.AddThing("thing-" + std::to_string(i));
+    MicroPnpThing& thing = deployment.AddThing("thing-" + std::to_string(i), nullptr, thing_config);
     (void)thing.PreinstallDriver(*image);
     Tmp36& sensor = deployment.MakeTmp36();
     if (thing.Plug(0, &sensor).ok()) {

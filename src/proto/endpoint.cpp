@@ -17,6 +17,7 @@ bool IsPureReplyType(MessageType type) {
   switch (type) {
     case MessageType::kSolicitedAdvertisement:
     case MessageType::kDriverUpload:
+    case MessageType::kDriverUploadOffer:
     case MessageType::kDriverAdvertisement:
     case MessageType::kDriverRemovalAck:
     case MessageType::kData:

@@ -1,5 +1,8 @@
 #include "src/proto/manager.h"
 
+#include <algorithm>
+
+#include "src/common/crc.h"
 #include "src/common/logging.h"
 #include "src/core/driver_sources.h"
 #include "src/dsl/compiler.h"
@@ -19,6 +22,7 @@ Status MicroPnpManager::AddDriver(const DriverImage& image) {
     return InvalidArgument("reserved device type id");
   }
   repository_[image.device_id] = image;
+  prepared_.erase(image.device_id);  // geometry/CRC must match the new image
   return OkStatus();
 }
 
@@ -93,43 +97,149 @@ void MicroPnpManager::OnDatagram(const Ip6Address& src, const Ip6Address& /*dst*
   if (endpoint_.HandleReply(src, m)) {
     return;
   }
-  if (m.type != MessageType::kDriverInstallRequest) {
-    return;
+  switch (m.type) {
+    case MessageType::kDriverInstallRequest:
+      HandleInstallRequest(src, m);
+      break;
+    case MessageType::kDriverChunkRequest:
+      HandleChunkRequest(src, m);
+      break;
+    default:
+      break;  // not addressed to managers
   }
-  const auto* request = m.payload_as<DeviceTargetPayload>();
-  // A retransmitted copy of a (4) already answered (its (5) was lost or is
-  // still in flight): re-serve the cached bytes, don't recount.  The device
-  // check keeps a peer whose sequence counter restarted from being handed a
-  // stale entry for a different device.
-  for (const ServedUpload& served : recent_uploads_) {
+}
+
+void MicroPnpManager::HandleInstallRequest(const Ip6Address& src, const Message& m) {
+  const auto* request = m.payload_as<DriverRequestPayload>();
+  // A retransmitted copy of a (4) already answered (its (18) offer was lost
+  // or is still in flight): re-serve the cached offer bytes, don't recount
+  // and don't replay the chunk stream — once the Thing holds the offer, its
+  // selective-repeat NACK pulls exactly the chunks that were lost.  The
+  // device check keeps a peer whose sequence counter restarted from being
+  // handed a stale entry for a different device.
+  for (const ServedOffer& served : recent_offers_) {
     if (served.thing == src && served.sequence == m.sequence &&
         served.device == request->device_id) {
       ++upload_retransmissions_;
-      SendUploadAfterLookup(src, served.wire);
+      SendWireAfter(lookup_cpu_ms_, src, served.offer_wire);
       return;
     }
   }
-  auto it = repository_.find(request->device_id);
-  if (it == repository_.end()) {
+  const PreparedImage* img = Prepare(request->device_id);
+  if (img == nullptr) {
     MLOG(kWarning, "manager") << "no driver in repository for "
                               << FormatDeviceTypeId(request->device_id);
     return;
   }
-  // (5) driver upload, echoing the request's sequence so the Thing's
+  // Which chunks the Thing still needs.  The bitmap is only honoured when
+  // the request's CRC and geometry match the repository's current image —
+  // a partial transfer of a since-replaced image restarts from scratch.
+  std::vector<uint16_t> missing;
+  const bool resume =
+      request->cached_crc == img->crc && request->cached_chunk_count == img->chunk_count;
+  if (resume) {
+    for (uint16_t i = 0; i < img->chunk_count; ++i) {
+      const size_t byte = i / 8u;
+      const bool have = byte < request->have_bitmap.size() &&
+                        ((request->have_bitmap[byte] >> (i % 8u)) & 1u) != 0;
+      if (!have) {
+        missing.push_back(i);
+      }
+    }
+  } else {
+    missing.resize(img->chunk_count);
+    for (uint16_t i = 0; i < img->chunk_count; ++i) {
+      missing[i] = i;
+    }
+  }
+  // (18) upload offer, echoing the request's sequence so the Thing's
   // endpoint can match it.
-  Message upload = MakeMessage(MessageType::kDriverUpload, m.sequence,
-                               DriverUploadPayload{request->device_id, it->second.Serialize()});
-  std::vector<uint8_t> wire = upload.Serialize();
-  recent_uploads_.push_back(ServedUpload{src, m.sequence, request->device_id, wire});
-  if (recent_uploads_.size() > 64) {
-    recent_uploads_.pop_front();
+  DriverOfferPayload offer;
+  offer.device_id = request->device_id;
+  offer.image_crc = img->crc;
+  offer.total_size = static_cast<uint32_t>(img->bytes.size());
+  offer.chunk_size = img->chunk_size;
+  offer.chunk_count = img->chunk_count;
+  if (resume && missing.empty()) {
+    offer.flags = kDriverOfferUpToDate;  // re-plug with a complete cache: zero chunks
+    ++upload_short_circuits_;
+  } else if (resume) {
+    ++resumed_uploads_;
+  }
+  std::vector<uint8_t> offer_wire =
+      MakeMessage(MessageType::kDriverUploadOffer, m.sequence, offer).Serialize();
+  recent_offers_.push_back(ServedOffer{src, m.sequence, request->device_id, offer_wire});
+  if (recent_offers_.size() > 64) {
+    recent_offers_.pop_front();
   }
   ++uploads_;
-  SendUploadAfterLookup(src, std::move(wire));
+  SendWireAfter(lookup_cpu_ms_, src, std::move(offer_wire));
+  double at_ms = lookup_cpu_ms_;
+  for (uint16_t index : missing) {
+    at_ms += chunk_interval_ms_;
+    ++chunks_sent_;
+    SendWireAfter(at_ms, src, ChunkWire(request->device_id, *img, index));
+  }
 }
 
-void MicroPnpManager::SendUploadAfterLookup(const Ip6Address& thing, std::vector<uint8_t> wire) {
-  scheduler_.ScheduleAfter(SimTime::FromMillis(lookup_cpu_ms_),
+void MicroPnpManager::HandleChunkRequest(const Ip6Address& src, const Message& m) {
+  const auto* request = m.payload_as<DriverChunkRequestPayload>();
+  const PreparedImage* img = Prepare(request->device_id);
+  if (img == nullptr || img->crc != request->image_crc) {
+    // Stale NACK for an image no longer (or never) served; the Thing's own
+    // (4) retry machinery restarts the transfer against the current image.
+    MLOG(kDebug, "manager") << "ignoring stale chunk request for "
+                            << FormatDeviceTypeId(request->device_id);
+    return;
+  }
+  double at_ms = 0.0;
+  for (uint16_t index : request->chunk_indices) {
+    if (index >= img->chunk_count) {
+      continue;
+    }
+    at_ms += chunk_interval_ms_;
+    ++chunks_sent_;
+    ++chunk_retransmissions_;
+    SendWireAfter(at_ms, src, ChunkWire(request->device_id, *img, index));
+  }
+}
+
+const MicroPnpManager::PreparedImage* MicroPnpManager::Prepare(DeviceTypeId id) {
+  auto cached = prepared_.find(id);
+  if (cached != prepared_.end()) {
+    return &cached->second;
+  }
+  auto repo = repository_.find(id);
+  if (repo == repository_.end()) {
+    return nullptr;
+  }
+  PreparedImage img;
+  img.bytes = repo->second.Serialize();
+  img.crc = Crc32(ByteSpan(img.bytes.data(), img.bytes.size()));
+  img.chunk_size = chunk_payload_bytes_;
+  img.chunk_count =
+      static_cast<uint16_t>((img.bytes.size() + img.chunk_size - 1) / img.chunk_size);
+  return &(prepared_[id] = std::move(img));
+}
+
+std::vector<uint8_t> MicroPnpManager::ChunkWire(DeviceTypeId id, const PreparedImage& img,
+                                                uint16_t index) const {
+  const size_t begin = static_cast<size_t>(index) * img.chunk_size;
+  const size_t len = std::min<size_t>(img.chunk_size, img.bytes.size() - begin);
+  DriverChunkPayload chunk;
+  chunk.device_id = id;
+  chunk.image_crc = img.crc;
+  chunk.chunk_index = index;
+  chunk.chunk_count = img.chunk_count;
+  chunk.data.assign(img.bytes.begin() + static_cast<std::ptrdiff_t>(begin),
+                    img.bytes.begin() + static_cast<std::ptrdiff_t>(begin + len));
+  // Chunks are notifications outside any endpoint transaction; sequence 0.
+  return MakeMessage(MessageType::kDriverChunk, 0, std::move(chunk)).Serialize();
+}
+
+void MicroPnpManager::SendWireAfter(double delay_ms, const Ip6Address& thing,
+                                    std::vector<uint8_t> wire) {
+  scheduler_.ScheduleAfter(SimTime::FromMillis(delay_ms),
                            [this, thing, wire = std::move(wire)] {
                              node_->SendUdp(thing, kMicroPnpUdpPort, wire);
                            });

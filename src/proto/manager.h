@@ -3,8 +3,18 @@
 //
 // "The µPnP Manager runs on a server-class device and manages the deployment
 // and remote configuration of device drivers on µPnP Things."  It answers
-// driver installation requests (4) with uploads (5) and can remotely
-// discover (6)/(7) and remove (8)/(9) drivers.
+// driver installation requests (4) and can remotely discover (6)/(7) and
+// remove (8)/(9) drivers.
+//
+// Driver delivery is chunked: a (4) is answered with an (18) upload offer
+// (image CRC-32 + chunk geometry, echoing the request's sequence so the
+// Thing's endpoint transaction completes on it) followed by paced (19)
+// chunks, each sized to fit a single 6LoWPAN fragment.  The Thing NACKs
+// gaps with (20) selective-repeat chunk requests and the manager re-serves
+// exactly those chunks.  A (4) that carries the CRC of an image the Thing
+// already holds — fully or partially — short-circuits to an up-to-date
+// offer or resumes from the request's chunk bitmap, so a re-plug transfers
+// only the delta.
 //
 // Remote operations ride the shared ProtoEndpoint: DiscoverDrivers and
 // RemoveDriver complete exactly once — with the Thing's answer or with
@@ -52,32 +62,66 @@ class MicroPnpManager {
   ProtoEndpoint& endpoint() { return endpoint_; }
   const ProtoEndpoint& endpoint() const { return endpoint_; }
   // Distinct install transactions served; retransmitted copies of a (4)
-  // already answered are re-served from cache and counted separately.
+  // already answered are re-served their offer and counted separately.
   uint64_t uploads() const { return uploads_; }
   uint64_t upload_retransmissions() const { return upload_retransmissions_; }
+  // Chunk datagrams sent, total and NACK-served, plus the resume/cache-hit
+  // split of uploads(): resumed (partial bitmap honoured) and short-circuited
+  // (Thing's cached image already matched — zero chunks moved).
+  uint64_t chunks_sent() const { return chunks_sent_; }
+  uint64_t chunk_retransmissions() const { return chunk_retransmissions_; }
+  uint64_t resumed_uploads() const { return resumed_uploads_; }
+  uint64_t upload_short_circuits() const { return upload_short_circuits_; }
 
  private:
+  // A repository entry lowered to its wire form once: serialized bytes,
+  // their CRC-32 and the chunk geometry every offer/chunk for this device
+  // quotes.  Invalidated when AddDriver replaces the image.
+  struct PreparedImage {
+    std::vector<uint8_t> bytes;
+    uint32_t crc = 0;
+    uint16_t chunk_size = 0;
+    uint16_t chunk_count = 0;
+  };
+
   void OnDatagram(const Ip6Address& src, const Ip6Address& dst, uint16_t port,
                   const std::vector<uint8_t>& payload);
-  void SendUploadAfterLookup(const Ip6Address& thing, std::vector<uint8_t> wire);
+  void HandleInstallRequest(const Ip6Address& src, const Message& m);
+  void HandleChunkRequest(const Ip6Address& src, const Message& m);
+  const PreparedImage* Prepare(DeviceTypeId id);
+  std::vector<uint8_t> ChunkWire(DeviceTypeId id, const PreparedImage& img, uint16_t index) const;
+  void SendWireAfter(double delay_ms, const Ip6Address& thing, std::vector<uint8_t> wire);
 
   Scheduler& scheduler_;
   NetNode* node_;
   ProtoEndpoint endpoint_;
   std::map<DeviceTypeId, DriverImage> repository_;
+  std::map<DeviceTypeId, PreparedImage> prepared_;
   // Recently served (4)s, keyed by (thing, sequence), with the serialized
-  // (5) kept for cheap re-serve when the Thing retransmits.  Bounded FIFO.
-  struct ServedUpload {
+  // (18) offer kept for cheap re-serve when the Thing retransmits.  The
+  // chunks themselves are not replayed on a duplicate (4): the Thing's
+  // selective-repeat NACK asks for exactly the gaps.  Bounded FIFO.
+  struct ServedOffer {
     Ip6Address thing;
     SequenceNumber sequence = 0;
     DeviceTypeId device = 0;
-    std::vector<uint8_t> wire;
+    std::vector<uint8_t> offer_wire;
   };
-  std::deque<ServedUpload> recent_uploads_;
+  std::deque<ServedOffer> recent_offers_;
   uint64_t uploads_ = 0;
   uint64_t upload_retransmissions_ = 0;
+  uint64_t chunks_sent_ = 0;
+  uint64_t chunk_retransmissions_ = 0;
+  uint64_t resumed_uploads_ = 0;
+  uint64_t upload_short_circuits_ = 0;
   // Repository lookup time on the server (milliseconds).
   double lookup_cpu_ms_ = 0.6;
+  // Pacing between consecutive chunk datagrams: keeps a multi-chunk stream
+  // from bursting into one radio queue and lets forwarding nodes drain.
+  double chunk_interval_ms_ = 2.0;
+  // Chunk payload sized so header + chunk framing + data fit one 88-byte
+  // 6LoWPAN fragment (17 bytes of framing leaves <= 61; 56 keeps margin).
+  uint16_t chunk_payload_bytes_ = 56;
 };
 
 }  // namespace micropnp

@@ -46,6 +46,12 @@ const char* MessageTypeName(MessageType type) {
       return "write";
     case MessageType::kWriteAck:
       return "write-ack";
+    case MessageType::kDriverUploadOffer:
+      return "driver-upload-offer";
+    case MessageType::kDriverChunk:
+      return "driver-chunk";
+    case MessageType::kDriverChunkRequest:
+      return "driver-chunk-request";
   }
   return "unknown";
 }
@@ -111,6 +117,28 @@ Result<DeviceTargetPayload> DeviceTargetPayload::Parse(ByteReader& r) {
   out.device_id = r.ReadU32();
   if (!r.ok()) {
     return CorruptError("truncated device target");
+  }
+  return out;
+}
+
+void DriverRequestPayload::Serialize(ByteWriter& w) const {
+  w.WriteU32(device_id);
+  w.WriteU32(cached_crc);
+  w.WriteU16(cached_chunk_count);
+  const size_t len = ClampedCount(have_bitmap, 255);
+  w.WriteU8(static_cast<uint8_t>(len));
+  w.WriteBytes(ByteSpan(have_bitmap.data(), len));
+}
+
+Result<DriverRequestPayload> DriverRequestPayload::Parse(ByteReader& r) {
+  DriverRequestPayload out;
+  out.device_id = r.ReadU32();
+  out.cached_crc = r.ReadU32();
+  out.cached_chunk_count = r.ReadU16();
+  const uint8_t len = r.ReadU8();
+  out.have_bitmap = r.ReadBytes(len);
+  if (!r.ok()) {
+    return CorruptError("truncated driver request");
   }
   return out;
 }
@@ -244,6 +272,94 @@ Result<WritePayload> WritePayload::Parse(ByteReader& r) {
   return out;
 }
 
+void DriverOfferPayload::Serialize(ByteWriter& w) const {
+  w.WriteU32(device_id);
+  w.WriteU32(image_crc);
+  w.WriteU32(total_size);
+  w.WriteU16(chunk_size);
+  w.WriteU16(chunk_count);
+  w.WriteU8(flags);
+}
+
+Result<DriverOfferPayload> DriverOfferPayload::Parse(ByteReader& r) {
+  DriverOfferPayload out;
+  out.device_id = r.ReadU32();
+  out.image_crc = r.ReadU32();
+  out.total_size = r.ReadU32();
+  out.chunk_size = r.ReadU16();
+  out.chunk_count = r.ReadU16();
+  out.flags = r.ReadU8();
+  if (!r.ok()) {
+    return CorruptError("truncated driver offer");
+  }
+  // Internal consistency: chunk geometry must cover the image exactly, so a
+  // receiver never has to re-derive (and mistrust) buffer sizes per chunk.
+  if (out.chunk_count > 0) {
+    if (out.chunk_size == 0) {
+      return CorruptError("driver offer with zero chunk size");
+    }
+    const uint32_t covered = static_cast<uint32_t>(out.chunk_size) * out.chunk_count;
+    const uint32_t prev = static_cast<uint32_t>(out.chunk_size) * (out.chunk_count - 1);
+    if (out.total_size > covered || out.total_size <= prev) {
+      return CorruptError("driver offer chunk geometry mismatch");
+    }
+  } else if (out.total_size != 0 && (out.flags & kDriverOfferUpToDate) == 0) {
+    return CorruptError("driver offer with no chunks for a non-empty image");
+  }
+  return out;
+}
+
+void DriverChunkPayload::Serialize(ByteWriter& w) const {
+  w.WriteU32(device_id);
+  w.WriteU32(image_crc);
+  w.WriteU16(chunk_index);
+  w.WriteU16(chunk_count);
+  const size_t len = ClampedCount(data, 65535);
+  w.WriteU16(static_cast<uint16_t>(len));
+  w.WriteBytes(ByteSpan(data.data(), len));
+}
+
+Result<DriverChunkPayload> DriverChunkPayload::Parse(ByteReader& r) {
+  DriverChunkPayload out;
+  out.device_id = r.ReadU32();
+  out.image_crc = r.ReadU32();
+  out.chunk_index = r.ReadU16();
+  out.chunk_count = r.ReadU16();
+  const uint16_t len = r.ReadU16();
+  out.data = r.ReadBytes(len);
+  if (!r.ok()) {
+    return CorruptError("truncated driver chunk");
+  }
+  if (out.chunk_index >= out.chunk_count) {
+    return CorruptError("driver chunk index out of range");
+  }
+  return out;
+}
+
+void DriverChunkRequestPayload::Serialize(ByteWriter& w) const {
+  w.WriteU32(device_id);
+  w.WriteU32(image_crc);
+  const size_t count = ClampedCount(chunk_indices, 255);
+  w.WriteU8(static_cast<uint8_t>(count));
+  for (size_t i = 0; i < count; ++i) {
+    w.WriteU16(chunk_indices[i]);
+  }
+}
+
+Result<DriverChunkRequestPayload> DriverChunkRequestPayload::Parse(ByteReader& r) {
+  DriverChunkRequestPayload out;
+  out.device_id = r.ReadU32();
+  out.image_crc = r.ReadU32();
+  const uint8_t count = r.ReadU8();
+  for (uint8_t i = 0; i < count && r.ok(); ++i) {
+    out.chunk_indices.push_back(r.ReadU16());
+  }
+  if (!r.ok()) {
+    return CorruptError("truncated driver chunk request");
+  }
+  return out;
+}
+
 // -------------------------------------------------------------- message ----
 
 namespace {
@@ -272,14 +388,21 @@ size_t ExpectedAlternative(MessageType type) {
       return AlternativeIndex<AdvertisementPayload>();
     case MessageType::kPeripheralDiscovery:
       return AlternativeIndex<PeripheralDiscoveryPayload>();
-    case MessageType::kDriverInstallRequest:
     case MessageType::kDriverDiscovery:
     case MessageType::kDriverRemovalRequest:
     case MessageType::kRead:
     case MessageType::kStreamClosed:
       return AlternativeIndex<DeviceTargetPayload>();
+    case MessageType::kDriverInstallRequest:
+      return AlternativeIndex<DriverRequestPayload>();
     case MessageType::kDriverUpload:
       return AlternativeIndex<DriverUploadPayload>();
+    case MessageType::kDriverUploadOffer:
+      return AlternativeIndex<DriverOfferPayload>();
+    case MessageType::kDriverChunk:
+      return AlternativeIndex<DriverChunkPayload>();
+    case MessageType::kDriverChunkRequest:
+      return AlternativeIndex<DriverChunkRequestPayload>();
     case MessageType::kDriverAdvertisement:
       return AlternativeIndex<DriverAdvertisementPayload>();
     case MessageType::kDriverRemovalAck:
@@ -312,14 +435,21 @@ Result<MessagePayload> ParsePayload(MessageType type, ByteReader& r) {
       return lift(AdvertisementPayload::Parse(r));
     case MessageType::kPeripheralDiscovery:
       return lift(PeripheralDiscoveryPayload::Parse(r));
-    case MessageType::kDriverInstallRequest:
     case MessageType::kDriverDiscovery:
     case MessageType::kDriverRemovalRequest:
     case MessageType::kRead:
     case MessageType::kStreamClosed:
       return lift(DeviceTargetPayload::Parse(r));
+    case MessageType::kDriverInstallRequest:
+      return lift(DriverRequestPayload::Parse(r));
     case MessageType::kDriverUpload:
       return lift(DriverUploadPayload::Parse(r));
+    case MessageType::kDriverUploadOffer:
+      return lift(DriverOfferPayload::Parse(r));
+    case MessageType::kDriverChunk:
+      return lift(DriverChunkPayload::Parse(r));
+    case MessageType::kDriverChunkRequest:
+      return lift(DriverChunkRequestPayload::Parse(r));
     case MessageType::kDriverAdvertisement:
       return lift(DriverAdvertisementPayload::Parse(r));
     case MessageType::kDriverRemovalAck:
@@ -368,7 +498,7 @@ Result<Message> Message::Parse(ByteSpan bytes) {
   if (!r.ok()) {
     return CorruptError("truncated message header");
   }
-  if (raw_type < 1 || raw_type > 17) {
+  if (raw_type < 1 || raw_type > kMessageTypeMax) {
     return CorruptError("unknown message type");
   }
   Message m;

@@ -3,14 +3,16 @@
 // "All messages are sent as UDP packets to port 6030. ... All messages carry
 // a unique 16-bit unsigned sequence number which is used to associate
 // request and reply messages."  Message numbering follows the paper's
-// (1)..(17) annotations exactly.
+// (1)..(17) annotations exactly; (18)..(20) extend the vocabulary with the
+// chunked driver-transfer shapes for lossy multi-hop networks (the paper's
+// Section 9 future work).
 //
 // Wire format: u8 type | u16 sequence | type-specific payload (big-endian).
 //
 // Each of the paper's message shapes is a distinct payload struct with its
 // own Serialize/Parse round trip; a Message is the (type, sequence) header
 // plus a std::variant over those shapes.  Several wire types share a shape —
-// e.g. (4)(6)(8)(10)(15) all carry just a device id — so the header type
+// e.g. (6)(8)(10)(15) all carry just a device id — so the header type
 // stays explicit and Parse/Serialize enforce that it matches the payload
 // alternative.
 
@@ -40,7 +42,7 @@ enum class MessageType : uint8_t {
   kPeripheralDiscovery = 2,       // client -> peripheral group
   kSolicitedAdvertisement = 3,    // Thing -> client (unicast)
   kDriverInstallRequest = 4,      // Thing -> manager (anycast)
-  kDriverUpload = 5,              // manager -> Thing
+  kDriverUpload = 5,              // manager -> Thing (monolithic, legacy)
   kDriverDiscovery = 6,           // manager -> Thing
   kDriverAdvertisement = 7,       // Thing -> manager
   kDriverRemovalRequest = 8,      // manager -> Thing
@@ -53,7 +55,14 @@ enum class MessageType : uint8_t {
   kStreamClosed = 15,             // Thing -> stream group
   kWrite = 16,                    // client -> Thing
   kWriteAck = 17,                 // Thing -> client
+  // Chunked driver transfer (the (5) upload split for lossy multi-hop
+  // fabrics: one lost 6LoWPAN fragment no longer re-sends the whole image).
+  kDriverUploadOffer = 18,   // manager -> Thing: transfer preamble, answers (4)
+  kDriverChunk = 19,         // manager -> Thing: one MTU-sized image slice
+  kDriverChunkRequest = 20,  // Thing -> manager: selective-repeat NACK
 };
+
+inline constexpr uint8_t kMessageTypeMax = 20;
 
 const char* MessageTypeName(MessageType type);
 
@@ -99,14 +108,31 @@ struct PeripheralDiscoveryPayload {
   bool operator==(const PeripheralDiscoveryPayload&) const = default;
 };
 
-// (4) driver install request, (6) driver discovery, (8) driver removal
-// request, (10) read, (15) stream closed: the target device type alone.
+// (6) driver discovery, (8) driver removal request, (10) read, (15) stream
+// closed: the target device type alone.
 struct DeviceTargetPayload {
   DeviceTypeId device_id = 0;
 
   void Serialize(ByteWriter& w) const;
   static Result<DeviceTargetPayload> Parse(ByteReader& r);
   bool operator==(const DeviceTargetPayload&) const = default;
+};
+
+// (4) driver install request: the target device type plus the resume state
+// of any partially (or fully) held image from an interrupted transfer.
+// `cached_crc == 0` means "nothing held, send everything"; otherwise the
+// bitmap says which chunks of the image with that CRC-32 the Thing already
+// has, and the manager streams only the gaps (re-plug -> delta, not
+// re-send).
+struct DriverRequestPayload {
+  DeviceTypeId device_id = 0;
+  uint32_t cached_crc = 0;         // CRC-32 of the held image bytes; 0 = none
+  uint16_t cached_chunk_count = 0; // chunk count of the held partial transfer
+  std::vector<uint8_t> have_bitmap;  // bit i set = chunk i held (LSB first)
+
+  void Serialize(ByteWriter& w) const;
+  static Result<DriverRequestPayload> Parse(ByteReader& r);
+  bool operator==(const DriverRequestPayload&) const = default;
 };
 
 // (5) driver upload: the serialized DriverImage for one device type.
@@ -178,10 +204,58 @@ struct WritePayload {
   bool operator==(const WritePayload&) const = default;
 };
 
+// Offer flag: the Thing's cached image is byte-identical to the repository's
+// current image — no chunks follow, install from the local copy.
+inline constexpr uint8_t kDriverOfferUpToDate = 0x01;
+
+// (18) driver upload offer: the chunked-transfer preamble, echoing the (4)'s
+// sequence so the Thing's endpoint transaction completes on it.  Everything
+// the receiver needs to size buffers and detect gaps before a single chunk
+// arrives.
+struct DriverOfferPayload {
+  DeviceTypeId device_id = 0;
+  uint32_t image_crc = 0;   // CRC-32 of the full serialized image
+  uint32_t total_size = 0;  // serialized image size in bytes
+  uint16_t chunk_size = 0;  // bytes per chunk (last chunk may be shorter)
+  uint16_t chunk_count = 0;
+  uint8_t flags = 0;        // kDriverOfferUpToDate
+
+  void Serialize(ByteWriter& w) const;
+  static Result<DriverOfferPayload> Parse(ByteReader& r);
+  bool operator==(const DriverOfferPayload&) const = default;
+};
+
+// (19) one image chunk.  Sized so the whole message fits a single 6LoWPAN
+// fragment: losing one frame costs one chunk, never the whole image.
+struct DriverChunkPayload {
+  DeviceTypeId device_id = 0;
+  uint32_t image_crc = 0;
+  uint16_t chunk_index = 0;
+  uint16_t chunk_count = 0;
+  std::vector<uint8_t> data;
+
+  void Serialize(ByteWriter& w) const;
+  static Result<DriverChunkPayload> Parse(ByteReader& r);
+  bool operator==(const DriverChunkPayload&) const = default;
+};
+
+// (20) selective-repeat chunk request: the Thing NACKs only the gaps.
+struct DriverChunkRequestPayload {
+  DeviceTypeId device_id = 0;
+  uint32_t image_crc = 0;
+  std::vector<uint16_t> chunk_indices;
+
+  void Serialize(ByteWriter& w) const;
+  static Result<DriverChunkRequestPayload> Parse(ByteReader& r);
+  bool operator==(const DriverChunkRequestPayload&) const = default;
+};
+
 using MessagePayload =
     std::variant<AdvertisementPayload, PeripheralDiscoveryPayload, DeviceTargetPayload,
                  DriverUploadPayload, DriverAdvertisementPayload, StatusAckPayload, ValuePayload,
-                 StreamRequestPayload, StreamEstablishedPayload, WritePayload>;
+                 StreamRequestPayload, StreamEstablishedPayload, WritePayload,
+                 DriverRequestPayload, DriverOfferPayload, DriverChunkPayload,
+                 DriverChunkRequestPayload>;
 
 // True iff `payload` holds the variant alternative that wire type `type`
 // carries.
@@ -225,7 +299,7 @@ Message MakeMessage(MessageType type, SequenceNumber seq, MessagePayload payload
 // Convenience constructors for the common shapes.
 Message MakeAdvertisement(MessageType type, SequenceNumber seq,
                           std::vector<AdvertisedPeripheral> peripherals);
-// For the five device-target-only types ((4)(6)(8)(10)(15)).
+// For the four device-target-only types ((6)(8)(10)(15)).
 Message MakeDeviceMessage(MessageType type, SequenceNumber seq, DeviceTypeId device);
 
 }  // namespace micropnp

@@ -13,9 +13,19 @@
 // (12)..(15) and write (16)/(17), plus the manager-facing driver operations
 // (5)..(9).
 //
-// The driver request (4) is a ProtoEndpoint transaction toward the Manager
-// anycast address: it retransmits with backoff over lossy links and
-// completes exactly once — with the (5) upload or with kDeadlineExceeded.
+// Lossy-network hardening on top of the paper's flow:
+//  - Advertisements repeat on a bounded trickle schedule: after any
+//    peripheral change the interval restarts at readvertise_min_ms and
+//    doubles up to readvertise_max_ms, whose tick is the last.  A solicited
+//    advertisement (3) suppresses the next tick.  Clients that missed the
+//    one-shot (1) converge without flooding the fabric.
+//  - The driver request (4) is a ProtoEndpoint transaction toward the
+//    Manager anycast address carrying the resume state of any held partial
+//    image.  It is answered by an (18) upload offer followed by (19) chunks
+//    sized to single 6LoWPAN fragments; the Thing NACKs gaps with (20)
+//    selective-repeat requests, and assembles + CRC-verifies the image.  A
+//    failed request re-arms with capped exponential backoff instead of
+//    giving up, and a re-plug resumes from the held chunk bitmap.
 
 #ifndef SRC_PROTO_THING_H_
 #define SRC_PROTO_THING_H_
@@ -46,10 +56,31 @@ struct ThingConfig {
   double reply_build_cpu_ms = 6.0;         // read/data response construction
   double cpu_jitter_fraction = 0.012;
   // Driver request (4) transaction policy toward the Manager anycast
-  // address: bounded retransmit-with-backoff, then give up.
+  // address: bounded retransmit-with-backoff per attempt.
   double driver_request_deadline_ms = 15000.0;
-  int driver_request_retransmits = 5;
+  int driver_request_retransmits = 7;
   double driver_request_backoff_ms = 400.0;
+  // Sub-doubling growth packs more attempts into the deadline: at 20% frame
+  // loss over multiple hops, attempt count dominates convergence.
+  double driver_request_backoff_multiplier = 1.7;
+  // A failed (4) re-arms with capped exponential backoff — the link may
+  // heal — instead of leaving the channel identified-but-driverless
+  // forever.  Bounded so a manager-less deployment still drains.
+  double driver_retry_initial_ms = 2000.0;
+  double driver_retry_max_ms = 30000.0;
+  int driver_retry_limit = 100;
+  // Chunked transfer gap repair: after the offer arrives, a NACK timer with
+  // capped exponential backoff requests the missing chunks, up to a bounded
+  // budget per attempt (then the (4)-level retry takes over, resuming from
+  // the bitmap).
+  double chunk_nack_delay_ms = 250.0;
+  double chunk_nack_max_delay_ms = 2000.0;
+  int chunk_nack_budget = 8;
+  // Trickle-style re-advertisement: interval restarts at min after any
+  // peripheral change, doubles to max, then goes dormant.  min <= 0
+  // disables the schedule (benchmarks that only measure the read path).
+  double readvertise_min_ms = 1000.0;
+  double readvertise_max_ms = 64000.0;
 };
 
 // Simulation-time marks of the most recent plug-in flow (consumed by the
@@ -63,7 +94,7 @@ struct PlugFlowMarks {
   SimTime address_generated;  // multicast address derived
   SimTime group_joined;       // group membership active
   SimTime driver_requested;   // (4) sent (equals group_joined when cached)
-  SimTime driver_received;    // (5) arrived
+  SimTime driver_received;    // full image held (offer/chunks or legacy (5))
   SimTime driver_installed;   // image activated
   SimTime advertised;         // (1) handed to the network stack
 };
@@ -91,6 +122,13 @@ class MicroPnpThing {
   uint64_t reads_served() const { return reads_served_; }
   uint64_t writes_served() const { return writes_served_; }
   uint64_t driver_requests_failed() const { return driver_requests_failed_; }
+  uint64_t driver_request_retries() const { return driver_request_retries_; }
+  uint64_t readvertisements_sent() const { return readvertisements_sent_; }
+  uint64_t readvertisements_suppressed() const { return readvertisements_suppressed_; }
+  uint64_t chunks_received() const { return chunks_received_; }
+  uint64_t duplicate_chunks() const { return duplicate_chunks_; }
+  uint64_t chunk_nacks_sent() const { return chunk_nacks_sent_; }
+  uint64_t transfers_completed() const { return transfers_completed_; }
 
  private:
   struct PendingRead {
@@ -103,16 +141,58 @@ class MicroPnpThing {
     Ip6Address group;
     uint64_t generation = 0;
   };
+  // One chunked driver transfer, which doubles as the resume cache: chunks
+  // survive unplug/deadline, so the next (4) advertises them in its bitmap
+  // and only the gaps move again.
+  struct DriverTransfer {
+    uint32_t crc = 0;  // CRC-32 the offer/chunks quote for the full image
+    uint16_t chunk_count = 0;
+    std::vector<std::vector<uint8_t>> chunks;
+    std::vector<bool> have;
+    uint16_t have_count = 0;
+    ChannelId channel = kInvalidChannel;  // most recent requesting channel
+    bool offer_seen = false;
+    bool complete = false;  // all chunks held and CRC verified
+    bool install_started = false;
+    bool nack_armed = false;
+    int nacks_sent = 0;
+    double nack_delay_ms = 0.0;
+    uint64_t generation = 0;  // bump invalidates armed NACK timers
+  };
+  // Per-channel plug-flow bookkeeping: the generation invalidates stale
+  // request completions and scheduled retries across unplug/re-plug; the
+  // retry backoff resets on every (re-)plug.
+  struct FlowState {
+    uint64_t generation = 0;
+    double retry_delay_ms = 0.0;
+    int retries = 0;
+  };
 
   // Plug-in network flow (Figure 10/11), chained on the scheduler.
   void OnPeripheralChange(ChannelId channel, DeviceTypeId id, bool connected);
   void ContinueFlowJoinGroup(ChannelId channel, DeviceTypeId id);
   void ContinueFlowEnsureDriver(ChannelId channel, DeviceTypeId id);
-  void OnDriverRequestComplete(ChannelId channel, DeviceTypeId id, Result<Message> reply);
+  void OnDriverRequestComplete(ChannelId channel, DeviceTypeId id, uint64_t flow_generation,
+                               Result<Message> reply);
+  void ScheduleDriverRetry(ChannelId channel, DeviceTypeId id);
   void InstallReceivedDriver(ChannelId channel, DeviceTypeId id, std::vector<uint8_t> image);
   void ActivateAndAdvertise(ChannelId channel, DeviceTypeId id);
   void SendUnsolicitedAdvertisement();
   void SendSolicitedAdvertisement(const Ip6Address& client, SequenceNumber seq);
+
+  // Chunked driver transfer (18)/(19)/(20).
+  void ProcessOffer(ChannelId channel, DeviceTypeId id, const DriverOfferPayload& offer);
+  void HandleDriverChunk(const Message& m);
+  void ResetTransfer(DriverTransfer& t, uint32_t crc, uint16_t chunk_count);
+  void MaybeCompleteTransfer(DeviceTypeId id, DriverTransfer& t);
+  ChannelId ChannelFor(DeviceTypeId id);
+  std::vector<uint8_t> AssembleTransfer(const DriverTransfer& t) const;
+  void ArmNackTimer(DeviceTypeId id);
+  void NackTick(DeviceTypeId id, uint64_t generation);
+
+  // Trickle re-advertisement.
+  void ResetTrickle();
+  void TrickleTick(uint64_t generation);
 
   // Message handling.
   void OnDatagram(const Ip6Address& src, const Ip6Address& dst, uint16_t port,
@@ -142,11 +222,25 @@ class MicroPnpThing {
 
   std::map<ChannelId, std::deque<PendingRead>> pending_reads_;
   std::map<ChannelId, StreamState> streams_;
+  std::map<ChannelId, FlowState> flows_;
+  std::map<DeviceTypeId, DriverTransfer> transfers_;
   std::optional<PlugFlowMarks> last_flow_;
+  // Trickle state: 0 interval = dormant; the generation invalidates
+  // scheduled ticks after a reset.
+  double advert_interval_ms_ = 0.0;
+  bool advert_suppressed_ = false;
+  uint64_t advert_generation_ = 0;
   uint64_t advertisements_sent_ = 0;
+  uint64_t readvertisements_sent_ = 0;
+  uint64_t readvertisements_suppressed_ = 0;
   uint64_t reads_served_ = 0;
   uint64_t writes_served_ = 0;
   uint64_t driver_requests_failed_ = 0;
+  uint64_t driver_request_retries_ = 0;
+  uint64_t chunks_received_ = 0;
+  uint64_t duplicate_chunks_ = 0;
+  uint64_t chunk_nacks_sent_ = 0;
+  uint64_t transfers_completed_ = 0;
 };
 
 }  // namespace micropnp

@@ -449,31 +449,46 @@ TEST(ClientStreamExpiry, CapacityRejectedStartStreamLeavesActiveStreamAlone) {
   EXPECT_GT(values, before);
 }
 
-// A retransmitted (4) with the same (thing, sequence) is re-served from the
-// manager's cache: the Thing recovers a lost (5), and uploads() still
-// counts distinct transactions.
+// A retransmitted (4) with the same (thing, sequence) is re-served its (18)
+// offer from the manager's cache: the Thing recovers a lost offer, uploads()
+// still counts distinct transactions, and the chunk stream is not replayed —
+// the selective-repeat NACK path owns gap recovery.
 TEST(ManagerDedup, DuplicateInstallRequestsReServeWithoutRecount) {
   Deployment deployment;
   MicroPnpManager& manager = deployment.AddManager();
   NetNode* thing_node = deployment.AddRelayNode("fake-thing");
-  std::vector<Message> uploads_received;
+  std::vector<Message> offers_received;
+  size_t chunks_received = 0;
   thing_node->BindUdp(kMicroPnpUdpPort,
                       [&](const Ip6Address&, const Ip6Address&, uint16_t,
                           const std::vector<uint8_t>& payload) {
                         Result<Message> m = Message::Parse(ByteSpan(payload.data(), payload.size()));
-                        if (m.ok() && m->type == MessageType::kDriverUpload) {
-                          uploads_received.push_back(*m);
+                        if (!m.ok()) {
+                          return;
+                        }
+                        if (m->type == MessageType::kDriverUploadOffer) {
+                          offers_received.push_back(*m);
+                        } else if (m->type == MessageType::kDriverChunk) {
+                          ++chunks_received;
                         }
                       });
 
-  const Message request = MakeDeviceMessage(MessageType::kDriverInstallRequest, 42, kTmp36TypeId);
+  const Message request = MakeMessage(MessageType::kDriverInstallRequest, 42,
+                                      DriverRequestPayload{kTmp36TypeId, 0, 0, {}});
   thing_node->SendUdp(ManagerAnycastAddress(), kMicroPnpUdpPort, request.Serialize());
   deployment.RunForMillis(500);
+  const size_t chunks_after_first = chunks_received;
   thing_node->SendUdp(ManagerAnycastAddress(), kMicroPnpUdpPort, request.Serialize());
   deployment.RunForMillis(500);
 
-  ASSERT_EQ(uploads_received.size(), 2u);  // both copies answered (recovery)
-  EXPECT_EQ(uploads_received[0], uploads_received[1]);
+  ASSERT_EQ(offers_received.size(), 2u);  // both copies answered (recovery)
+  EXPECT_EQ(offers_received[0], offers_received[1]);
+  const auto* offer = offers_received[0].payload_as<DriverOfferPayload>();
+  ASSERT_NE(offer, nullptr);
+  EXPECT_EQ(offer->device_id, kTmp36TypeId);
+  EXPECT_GT(offer->chunk_count, 1u);  // the image really is split
+  EXPECT_EQ(chunks_after_first, offer->chunk_count);  // full stream once...
+  EXPECT_EQ(chunks_received, chunks_after_first);     // ...not replayed
   EXPECT_EQ(manager.uploads(), 1u);  // but only one distinct transaction
   EXPECT_EQ(manager.upload_retransmissions(), 1u);
 }
@@ -514,7 +529,7 @@ TEST(WireRobustness, GarbageDatagramsNeverCrash) {
       b = static_cast<uint8_t>(rng.NextU32() & 0xff);
     }
     if (!bytes.empty() && rng.Bernoulli(0.5)) {
-      bytes[0] = static_cast<uint8_t>(rng.UniformInt(1, 17));
+      bytes[0] = static_cast<uint8_t>(rng.UniformInt(1, kMessageTypeMax));
     }
     (void)Message::Parse(ByteSpan(bytes.data(), bytes.size()));  // must not crash
   }

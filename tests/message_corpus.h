@@ -1,4 +1,4 @@
-// Shared test corpus: one representative message per wire type (1)..(17),
+// Shared test corpus: one representative message per wire type (1)..(20),
 // with every payload field populated.  proto_test uses it for round-trip
 // coverage; endpoint_test drives its truncation/garbage robustness sweeps
 // over the same list, so a new message type added here is automatically
@@ -30,7 +30,8 @@ inline std::vector<Message> RepresentativeMessages() {
       MakeAdvertisement(MessageType::kUnsolicitedAdvertisement, 101, {p}),
       MakeMessage(MessageType::kPeripheralDiscovery, 102, PeripheralDiscoveryPayload{}),
       MakeAdvertisement(MessageType::kSolicitedAdvertisement, 103, {p}),
-      MakeDeviceMessage(MessageType::kDriverInstallRequest, 104, 0xad1c0001),
+      MakeMessage(MessageType::kDriverInstallRequest, 104,
+                  DriverRequestPayload{0xad1c0001, 0xdeadbeef, 12, {0xff, 0x0f}}),
       MakeMessage(MessageType::kDriverUpload, 105, DriverUploadPayload{0xad1c0001, {1, 2, 3}}),
       MakeDeviceMessage(MessageType::kDriverDiscovery, 106, kDeviceTypeAllPeripherals),
       MakeMessage(MessageType::kDriverAdvertisement, 107,
@@ -46,6 +47,12 @@ inline std::vector<Message> RepresentativeMessages() {
       MakeDeviceMessage(MessageType::kStreamClosed, 115, 0xad1c0001),
       MakeMessage(MessageType::kWrite, 116, WritePayload{0xad1c0001, 17}),
       MakeMessage(MessageType::kWriteAck, 117, StatusAckPayload{0xad1c0001, 0}),
+      MakeMessage(MessageType::kDriverUploadOffer, 118,
+                  DriverOfferPayload{0xad1c0001, 0xdeadbeef, 670, 56, 12, 0}),
+      MakeMessage(MessageType::kDriverChunk, 119,
+                  DriverChunkPayload{0xad1c0001, 0xdeadbeef, 11, 12, {9, 8, 7, 6}}),
+      MakeMessage(MessageType::kDriverChunkRequest, 120,
+                  DriverChunkRequestPayload{0xad1c0001, 0xdeadbeef, {0, 3, 11}}),
   };
 }
 

@@ -29,9 +29,9 @@ TEST(Messages, AdvertisementRoundTrip) {
   EXPECT_EQ(*parsed, m);
 }
 
-TEST(Messages, AllSeventeenTypesRoundTrip) {
+TEST(Messages, AllTwentyTypesRoundTrip) {
   std::vector<Message> corpus = RepresentativeMessages();
-  ASSERT_EQ(corpus.size(), 17u);
+  ASSERT_EQ(corpus.size(), 20u);
   for (const Message& m : corpus) {
     std::vector<uint8_t> wire = m.Serialize();
     Result<Message> parsed = Message::Parse(ByteSpan(wire.data(), wire.size()));
