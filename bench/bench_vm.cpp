@@ -181,6 +181,35 @@ void BM_VmHandlerMix(benchmark::State& state) {
 }
 BENCHMARK(BM_VmHandlerMix);
 
+// Same driver decoded with trap elision disabled: every div/mod keeps its
+// zero check and every subscript its bounds check, even where the abstract
+// interpreter proved them dead (src/rt/abstract_interp.h).  The delta
+// against BM_VmHandlerMix is the measured cost of the runtime checks the
+// deploy-time proofs remove.
+void BM_VmHandlerMixCheckedTraps(benchmark::State& state) {
+  Result<DriverImage> image = CompileDriver(kMixDriver);
+  if (!image.ok()) {
+    state.SkipWithError("compile failed");
+    return;
+  }
+  Result<std::shared_ptr<const DecodedImage>> decoded = DecodedImage::DecodeShared(
+      *image, std::nullopt, DecodeOptions{.elide_proven_traps = false});
+  if (!decoded.ok()) {
+    state.SkipWithError("decode failed");
+    return;
+  }
+  Vm vm(*decoded);
+  uint64_t instructions = 0;
+  for (auto _ : state) {
+    Vm::ExecResult r = vm.Dispatch(Event::Of(kEventInit), nullptr);
+    instructions += r.instructions;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["instructions/s"] = benchmark::Counter(
+      static_cast<double>(instructions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_VmHandlerMixCheckedTraps);
+
 // The seed interpreter over the same driver: re-validates opcodes, bounds
 // and stack depth and re-decodes operands on every instruction.
 void BM_VmHandlerMixSeedInterpreter(benchmark::State& state) {

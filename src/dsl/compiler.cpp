@@ -237,7 +237,11 @@ class CodeGen {
       params_[p.name] = static_cast<uint8_t>(i);
     }
     MICROPNP_RETURN_IF_ERROR(EmitBlock(h.body));
-    Emit(Op::kRet);  // implicit end of handler
+    // Implicit end of handler — skipped when the body already ends in a
+    // return statement, which would leave this kRet unreachable.
+    if (h.body.empty() || h.body.back()->kind != Stmt::Kind::kReturn) {
+      Emit(Op::kRet);
+    }
     return OkStatus();
   }
 
@@ -249,6 +253,11 @@ class CodeGen {
   }
 
   Status EmitStatement(const Stmt& s) {
+    if (s.line > 0 &&
+        (debug_.lines.empty() || debug_.lines.back().line != s.line)) {
+      debug_.lines.push_back(
+          DriverDebugInfo::LineEntry{static_cast<uint16_t>(code_.size()), s.line});
+    }
     switch (s.kind) {
       case Stmt::Kind::kAssign:
         return EmitAssign(s);
@@ -353,7 +362,10 @@ class CodeGen {
       const size_t skip = EmitJump(Op::kJz);
       MICROPNP_RETURN_IF_ERROR(EmitBlock(b.body));
       const bool is_last = (i + 1 == s.branches.size()) && s.else_body.empty();
-      if (!is_last) {
+      // A branch that ends in `return` never falls through, so the jump over
+      // the remaining branches would be unreachable.
+      const bool returns = !b.body.empty() && b.body.back()->kind == Stmt::Kind::kReturn;
+      if (!is_last && !returns) {
         end_jumps.push_back(EmitJump(Op::kJmp));
       }
       MICROPNP_RETURN_IF_ERROR(PatchJump(skip, s.line));
@@ -544,6 +556,7 @@ class CodeGen {
 
   const DriverAst& ast_;
   DriverImage image_;
+  DriverDebugInfo debug_;
   std::vector<uint8_t> code_;
   std::unordered_map<std::string, const NativeLibraryDesc*> imports_;
   std::unordered_map<std::string, int32_t> consts_;
@@ -551,11 +564,25 @@ class CodeGen {
   std::unordered_map<std::string, ArrayInfo> arrays_;
   std::unordered_map<std::string, HandlerInfo> handler_infos_;
   std::unordered_map<std::string, uint8_t> params_;
+
+ public:
+  DriverDebugInfo TakeDebugInfo() { return std::move(debug_); }
 };
 
 }  // namespace
 
-Result<DriverImage> CompileDriver(const std::string& source) {
+int DriverDebugInfo::LineFor(uint16_t pc) const {
+  int line = 0;
+  for (const LineEntry& entry : lines) {
+    if (entry.pc > pc) {
+      break;  // sorted by pc: the previous entry covers this offset
+    }
+    line = entry.line;
+  }
+  return line;
+}
+
+Result<CompiledDriver> CompileDriverWithDebugInfo(const std::string& source) {
   Result<DriverAst> ast = ParseDriver(source);
   if (!ast.ok()) {
     return ast.status();
@@ -572,7 +599,23 @@ Result<DriverImage> CompileDriver(const std::string& source) {
       tree.consts.push_back(ConstDecl{std::string(c.name), c.value, 0});
     }
   }
-  return CodeGen(tree).Run();
+  CodeGen gen(tree);
+  Result<DriverImage> image = gen.Run();
+  if (!image.ok()) {
+    return image.status();
+  }
+  CompiledDriver out;
+  out.image = std::move(*image);
+  out.debug = gen.TakeDebugInfo();
+  return out;
+}
+
+Result<DriverImage> CompileDriver(const std::string& source) {
+  Result<CompiledDriver> compiled = CompileDriverWithDebugInfo(source);
+  if (!compiled.ok()) {
+    return compiled.status();
+  }
+  return std::move(compiled->image);
 }
 
 }  // namespace micropnp

@@ -7,17 +7,43 @@
 #ifndef SRC_DSL_COMPILER_H_
 #define SRC_DSL_COMPILER_H_
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/common/status.h"
 #include "src/dsl/driver_image.h"
 
 namespace micropnp {
 
+// pc -> source-line map recorded during code generation.  One entry per
+// statement, sorted by pc; the map is tooling-side only and never part of
+// the wire image (drivers stay as small as Table 3 measured).
+struct DriverDebugInfo {
+  struct LineEntry {
+    uint16_t pc = 0;  // bytecode offset of the statement's first instruction
+    int line = 0;     // 1-based source line
+  };
+  std::vector<LineEntry> lines;
+
+  // Source line of the statement covering `pc` (the nearest entry at or
+  // before it); 0 when the map is empty.
+  int LineFor(uint16_t pc) const;
+};
+
+struct CompiledDriver {
+  DriverImage image;
+  DriverDebugInfo debug;
+};
+
 // Compiles μPnP DSL source.  All semantic errors (unknown imports, arity
 // mismatches, undeclared variables, missing init/destroy handlers, ...)
 // carry source line numbers.
 Result<DriverImage> CompileDriver(const std::string& source);
+
+// Same compilation, keeping the pc -> line map for diagnostics tooling
+// (updl_lint resolves analyzer findings back to driver source lines).
+Result<CompiledDriver> CompileDriverWithDebugInfo(const std::string& source);
 
 }  // namespace micropnp
 

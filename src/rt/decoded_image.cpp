@@ -6,6 +6,7 @@
 #include <string>
 
 #include "src/dsl/native_interface.h"
+#include "src/rt/abstract_interp.h"
 
 namespace micropnp {
 namespace {
@@ -40,7 +41,8 @@ void ForEachSuccessor(const DecodedInsn& insn, size_t index, Fn&& fn) {
 }  // namespace
 
 Result<DecodedImage> DecodedImage::Decode(const DriverImage& image,
-                                          std::optional<uint32_t> image_crc) {
+                                          std::optional<uint32_t> image_crc,
+                                          const DecodeOptions& options) {
   DecodedImage out;
   out.image_ = image;
   out.crc_ = image_crc.has_value() ? *image_crc : image.ImageCrc();
@@ -291,17 +293,55 @@ Result<DecodedImage> DecodedImage::Decode(const DriverImage& image,
     h.max_stack = deepest;
   }
 
+  // ---- abstract interpretation ----------------------------------------------
+  // Value analysis over the structurally-verified stream (abstract_interp.h):
+  // proves trap sites safe or unsafe, bounds each handler's execution, and
+  // flags unreachable code / dead handlers for updl_lint.
+  auto analysis = std::make_shared<ImageAnalysis>(
+      AnalyzeImage(image, out.insns_, out.handlers_));
+  if (options.reject_unsafe) {
+    if (const Finding* error = analysis->FirstError()) {
+      return CorruptError("unsafe driver image: " + error->message + " [" +
+                          FindingKindName(error->kind) + " at pc " +
+                          std::to_string(error->pc) + "]");
+    }
+  }
+  if (options.elide_proven_traps) {
+    for (size_t i = 0; i < out.insns_.size(); ++i) {
+      DecodedInsn& insn = out.insns_[i];
+      const uint8_t proof = analysis->proofs[i];
+      if ((proof & kProofDivisorNonZero) != 0) {
+        insn.op = insn.op == Op::kDiv ? Op::kDivUnchecked : Op::kModUnchecked;
+      } else if ((proof & kProofSubscriptInBounds) != 0) {
+        insn.op = insn.op == Op::kLoadA ? Op::kLoadAUnchecked : Op::kStoreAUnchecked;
+      }
+    }
+    for (DecodedHandler& h : out.handlers_) {
+      for (const HandlerWcet& wcet : analysis->wcet) {
+        if (wcet.event == h.event) {
+          h.watchdog_safe = wcet.under_watchdog;
+          h.wcet_instructions = wcet.bounded ? wcet.instructions : 0;
+          break;
+        }
+      }
+    }
+  }
+  out.analysis_ = std::move(analysis);
+
   return out;
 }
 
 Result<std::shared_ptr<const DecodedImage>> DecodedImage::DecodeShared(
-    const DriverImage& image, std::optional<uint32_t> image_crc) {
-  Result<DecodedImage> decoded = Decode(image, image_crc);
+    const DriverImage& image, std::optional<uint32_t> image_crc,
+    const DecodeOptions& options) {
+  Result<DecodedImage> decoded = Decode(image, image_crc, options);
   if (!decoded.ok()) {
     return decoded.status();
   }
   return std::shared_ptr<const DecodedImage>(new DecodedImage(std::move(*decoded)));
 }
+
+const ImageAnalysis& DecodedImage::analysis() const { return *analysis_; }
 
 uint32_t DecodedImage::max_stack_depth() const {
   uint32_t deepest = 0;

@@ -32,6 +32,8 @@
 
 namespace micropnp {
 
+struct ImageAnalysis;  // src/rt/abstract_interp.h
+
 // Dimensioning of the embedded VM (mirrored by the footprint model).  The
 // verifier proves every handler stays within this depth, which is what lets
 // the interpreter push and pop with no per-step bounds checks.
@@ -56,8 +58,21 @@ struct DecodedInsn {
 struct DecodedHandler {
   EventId event = 0;
   uint8_t argc = 0;
-  uint32_t entry = 0;      // index into code()
-  uint32_t max_stack = 0;  // worst-case operand stack depth (static analysis)
+  bool watchdog_safe = false;  // WCET proven under the watchdog budget
+  uint32_t entry = 0;          // index into code()
+  uint32_t max_stack = 0;      // worst-case operand stack depth (static analysis)
+  uint64_t wcet_instructions = 0;  // longest feasible path, 0 when unbounded
+};
+
+// Knobs for the abstract-interpretation stage of Decode.  The defaults are
+// what the runtime wants: proven-unsafe images rejected at install time and
+// proven-safe trap sites rewritten to their unchecked forms.  updl_lint
+// turns `reject_unsafe` off to report every finding instead of stopping at
+// the first, and the differential tests turn `elide_proven_traps` off to
+// keep the fully-checked instruction stream.
+struct DecodeOptions {
+  bool elide_proven_traps = true;
+  bool reject_unsafe = true;
 };
 
 class DecodedImage {
@@ -72,12 +87,14 @@ class DecodedImage {
   // `image_crc` lets a caller that already computed DriverImage::ImageCrc()
   // (e.g. for a cache probe) avoid a second serialize+CRC pass.
   static Result<DecodedImage> Decode(const DriverImage& image,
-                                     std::optional<uint32_t> image_crc = std::nullopt);
+                                     std::optional<uint32_t> image_crc = std::nullopt,
+                                     const DecodeOptions& options = {});
 
   // Decode into shared ownership (the form DriverManager caches and every
   // DriverHost/Vm holds).
   static Result<std::shared_ptr<const DecodedImage>> DecodeShared(
-      const DriverImage& image, std::optional<uint32_t> image_crc = std::nullopt);
+      const DriverImage& image, std::optional<uint32_t> image_crc = std::nullopt,
+      const DecodeOptions& options = {});
 
   const DriverImage& image() const { return image_; }
   std::span<const DecodedInsn> code() const { return insns_; }
@@ -98,6 +115,12 @@ class DecodedImage {
   // construction; the verifier rejected anything deeper).
   uint32_t max_stack_depth() const;
 
+  // The abstract-interpretation result Decode ran over the pre-specialization
+  // stream: every finding (errors, warnings, notes), per-handler WCET and the
+  // per-site proof bits.  Always populated, even with reject_unsafe off —
+  // this is what updl_lint reports from.
+  const ImageAnalysis& analysis() const;  // defined in the .cpp (complete type)
+
  private:
   DecodedImage() { handler_table_.fill(-1); }
 
@@ -105,6 +128,7 @@ class DecodedImage {
   std::vector<DecodedInsn> insns_;
   std::vector<DecodedHandler> handlers_;
   std::array<int16_t, 256> handler_table_;
+  std::shared_ptr<const ImageAnalysis> analysis_;
   uint32_t crc_ = 0;
 };
 

@@ -80,18 +80,25 @@ double Vm::MicrosPerInstructionAtMcuClock() const {
 // overflow or underflow the operand stack.  None of that is re-checked here.
 
 Vm::ExecResult Vm::Dispatch(const Event& event, VmHost* host) {
-  ExecResult result;
   const DecodedHandler* handler = decoded_->FindHandler(event.id);
   if (handler == nullptr) {
+    ExecResult result;
     result.outcome = Outcome::kNoHandler;
     return result;
   }
+  return handler->watchdog_safe ? DispatchImpl<false>(*handler, event, host)
+                                : DispatchImpl<true>(*handler, event, host);
+}
 
-  std::array<int32_t, 4> locals = BindLocals(event, handler->argc);
+template <bool kCheckWatchdog>
+Vm::ExecResult Vm::DispatchImpl(const DecodedHandler& handler, const Event& event,
+                                VmHost* host) {
+  ExecResult result;
+  std::array<int32_t, 4> locals = BindLocals(event, handler.argc);
   std::array<int32_t, kVmStackDepth> stack;
   size_t sp = 0;  // next free slot
   const DecodedInsn* const insns = decoded_->code().data();
-  size_t ip = handler->entry;
+  size_t ip = handler.entry;
 
   auto trap = [&](const DecodedInsn& insn, const char* what) {
     result.outcome = Outcome::kTrap;
@@ -102,9 +109,11 @@ Vm::ExecResult Vm::Dispatch(const Event& event, VmHost* host) {
     const DecodedInsn& insn = insns[ip];
     ++result.instructions;
     result.cycles += insn.cycles;
-    if (result.instructions > kVmWatchdogInstructions) {
-      trap(insn, "watchdog: handler exceeded instruction budget");
-      break;
+    if constexpr (kCheckWatchdog) {
+      if (result.instructions > kVmWatchdogInstructions) {
+        trap(insn, "watchdog: handler exceeded instruction budget");
+        break;
+      }
     }
 
     size_t next_ip = ip + 1;
@@ -160,6 +169,18 @@ Vm::ExecResult Vm::Dispatch(const Event& event, VmHost* host) {
         arr[static_cast<size_t>(a)] = static_cast<uint8_t>(b & 0xff);
         break;
       }
+      // Decode-time specialized forms: the abstract interpreter proved the
+      // index in bounds / the divisor nonzero on every feasible path, so the
+      // trap test is gone.  Value semantics are identical to the checked case.
+      case Op::kLoadAUnchecked:
+        a = stack[--sp];
+        stack[sp++] = arrays_[insn.a][static_cast<size_t>(a)];
+        break;
+      case Op::kStoreAUnchecked:
+        b = stack[--sp];  // value
+        a = stack[--sp];  // index
+        arrays_[insn.a][static_cast<size_t>(a)] = static_cast<uint8_t>(b & 0xff);
+        break;
       case Op::kAdd:
         b = stack[--sp];
         a = stack[--sp];
@@ -191,6 +212,16 @@ Vm::ExecResult Vm::Dispatch(const Event& event, VmHost* host) {
           trap(insn, "division by zero");
           break;
         }
+        stack[sp++] = (a == INT32_MIN && b == -1) ? 0 : a % b;
+        break;
+      case Op::kDivUnchecked:
+        b = stack[--sp];
+        a = stack[--sp];
+        stack[sp++] = (a == INT32_MIN && b == -1) ? INT32_MIN : a / b;
+        break;
+      case Op::kModUnchecked:
+        b = stack[--sp];
+        a = stack[--sp];
         stack[sp++] = (a == INT32_MIN && b == -1) ? 0 : a % b;
         break;
       case Op::kNeg:
@@ -674,6 +705,14 @@ Vm::ExecResult Vm::DispatchReference(const Event& event, VmHost* host) {
         total_cycles_ += result.cycles;
         return result;
       }
+      case Op::kDivUnchecked:
+      case Op::kModUnchecked:
+      case Op::kLoadAUnchecked:
+      case Op::kStoreAUnchecked:
+        // Decode-time internal forms; never wire-valid, so OpIsValid already
+        // rejected the raw byte above.
+        trap("invalid opcode");
+        continue;
     }
     pc = next_pc;
   }

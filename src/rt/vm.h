@@ -80,7 +80,9 @@ class Vm {
   // Executes the handler for `event` (if any) over the decoded stream.
   // Arguments beyond the handler's declared count (or the 4 local slots) are
   // ignored; missing ones read as zero.  `host` may be null (signals are
-  // dropped).
+  // dropped).  Handlers the abstract interpreter proved under the watchdog
+  // budget run without the per-instruction watchdog counter; trap sites it
+  // proved safe were rewritten to unchecked opcodes at decode time.
   ExecResult Dispatch(const Event& event, VmHost* host);
 
   // The seed interpreter: walks the raw bytecode with per-step validity,
@@ -99,6 +101,11 @@ class Vm {
   double MicrosPerInstructionAtMcuClock() const;
 
  private:
+  // The decoded-stream hot loop.  The watchdog counter compiles out for
+  // handlers with a proven execution bound.
+  template <bool kCheckWatchdog>
+  ExecResult DispatchImpl(const DecodedHandler& handler, const Event& event, VmHost* host);
+
   // Truncates a 32-bit value to a declared storage type (JVM-style).
   static int32_t TruncateTo(DslType type, int32_t v);
 

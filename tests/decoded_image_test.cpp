@@ -196,45 +196,59 @@ TEST(DecodedImage, EveryBundledDriverVerifies) {
 }
 
 // ------------------------------------------------- runtime traps stay -------
+//
+// The dangerous value in each test below arrives as an event argument, which
+// the abstract interpreter must treat as arbitrary: the image is accepted
+// and the check stays as a runtime trap.  The provable counterparts (a
+// constant zero divisor, a constant out-of-bounds subscript, a loop with no
+// exit) are rejected at Decode — see tests/abstract_interp_test.cpp.
 
 TEST(DecodedImage, WatchdogStillTrapsAtRuntime) {
-  // An infinite but stack-balanced loop passes verification; the watchdog
-  // catches it while executing.
-  DriverImage image = MakeImage({B(Op::kNop), B(Op::kJmp), 0xff, 0xfc});
+  // Loops while the event argument is nonzero: an infinite but stack-balanced
+  // loop the analyzer cannot rule out, so the watchdog catches it executing.
+  DriverImage image = MakeImage({B(Op::kLoadL), 0x00,         //
+                                 B(Op::kJnz), 0xff, 0xfb,     // back to the load
+                                 B(Op::kRet)});
+  image.handlers[0].argc = 1;
   Result<std::shared_ptr<const DecodedImage>> decoded = DecodedImage::DecodeShared(image);
   ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
 
   Vm vm(*decoded);
-  Vm::ExecResult r = vm.Dispatch(Event::Of(kEventInit), nullptr);
+  EXPECT_EQ(vm.Dispatch(Event::Of(kEventInit, 0), nullptr).outcome, Vm::Outcome::kDone);
+  Vm::ExecResult r = vm.Dispatch(Event::Of(kEventInit, 1), nullptr);
   EXPECT_EQ(r.outcome, Vm::Outcome::kTrap);
   EXPECT_NE(r.trap.message().find("watchdog"), std::string::npos);
   EXPECT_EQ(r.instructions, kVmWatchdogInstructions + 1);
 }
 
 TEST(DecodedImage, DynamicArraySubscriptStillTrapsAtRuntime) {
-  // The array *index* operand is static (and verified); the subscript is
-  // runtime data and still traps out of bounds.
-  DriverImage image = MakeImage({B(Op::kPushI8), 0x05,       //
+  // The array *index* operand is static (and verified); the subscript comes
+  // in as runtime data and still traps out of bounds.
+  DriverImage image = MakeImage({B(Op::kLoadL), 0x00,        //
                                  B(Op::kLoadA), 0x00,        //
                                  B(Op::kPop), B(Op::kRet)});
-  image.array_sizes = {4};  // subscript 5 is out of bounds at runtime
+  image.array_sizes = {4};
+  image.handlers[0].argc = 1;
   Result<std::shared_ptr<const DecodedImage>> decoded = DecodedImage::DecodeShared(image);
   ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
 
   Vm vm(*decoded);
-  Vm::ExecResult r = vm.Dispatch(Event::Of(kEventInit), nullptr);
+  EXPECT_EQ(vm.Dispatch(Event::Of(kEventInit, 3), nullptr).outcome, Vm::Outcome::kDone);
+  Vm::ExecResult r = vm.Dispatch(Event::Of(kEventInit, 5), nullptr);
   EXPECT_EQ(r.outcome, Vm::Outcome::kTrap);
   EXPECT_NE(r.trap.message().find("array subscript out of bounds"), std::string::npos);
 }
 
 TEST(DecodedImage, DivisionByZeroStillTrapsAtRuntime) {
-  DriverImage image = MakeImage({B(Op::kPush1), B(Op::kPush0), B(Op::kDiv),  //
+  DriverImage image = MakeImage({B(Op::kPush1), B(Op::kLoadL), 0x00, B(Op::kDiv),  //
                                  B(Op::kPop), B(Op::kRet)});
+  image.handlers[0].argc = 1;
   Result<std::shared_ptr<const DecodedImage>> decoded = DecodedImage::DecodeShared(image);
   ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
 
   Vm vm(*decoded);
-  Vm::ExecResult r = vm.Dispatch(Event::Of(kEventInit), nullptr);
+  EXPECT_EQ(vm.Dispatch(Event::Of(kEventInit, 2), nullptr).outcome, Vm::Outcome::kDone);
+  Vm::ExecResult r = vm.Dispatch(Event::Of(kEventInit, 0), nullptr);
   EXPECT_EQ(r.outcome, Vm::Outcome::kTrap);
   EXPECT_NE(r.trap.message().find("division by zero"), std::string::npos);
   EXPECT_EQ(r.instructions, 3u);  // push, push, div — all charged

@@ -290,17 +290,26 @@ event read():
   EXPECT_EQ(r.array.data(), fx.vm_->array(0).data());
 }
 
+// The runtime traps below use an event argument as the dangerous value: the
+// abstract interpreter cannot prove the site unsafe (the argument is
+// arbitrary), so the image installs and the check stays as a runtime trap.
+// The provable variants (a constant zero divisor, a constant out-of-bounds
+// index, `while true:`) are now rejected at decode time — see
+// tests/abstract_interp_test.cpp.
+
 TEST(Vm, DivisionByZeroTraps) {
   VmFixture fx(R"(
 device 1;
-int32_t r, zero;
+int32_t r;
 event init():
-    zero = 0;
-    r = 5 / zero;
+    r = 0;
 event destroy():
     r = 0;
+event write(int32_t value):
+    r = 5 / value;
 )");
-  Vm::ExecResult result = fx.Run(Event::Of(kEventInit));
+  EXPECT_EQ(fx.Run(Event::Of(kEventWrite, 5)).outcome, Vm::Outcome::kDone);
+  Vm::ExecResult result = fx.Run(Event::Of(kEventWrite, 0));
   EXPECT_EQ(result.outcome, Vm::Outcome::kTrap);
   EXPECT_NE(result.trap.message().find("division by zero"), std::string::npos);
 }
@@ -308,14 +317,16 @@ event destroy():
 TEST(Vm, ArrayBoundsTrap) {
   VmFixture fx(R"(
 device 1;
-uint8_t i, buf[2];
+uint8_t buf[2];
 event init():
-    i = 9;
-    buf[i] = 1;
+    buf[0] = 0;
 event destroy():
-    i = 0;
+    buf[0] = 0;
+event write(int32_t value):
+    buf[value] = 1;
 )");
-  EXPECT_EQ(fx.Run(Event::Of(kEventInit)).outcome, Vm::Outcome::kTrap);
+  EXPECT_EQ(fx.Run(Event::Of(kEventWrite, 1)).outcome, Vm::Outcome::kDone);
+  EXPECT_EQ(fx.Run(Event::Of(kEventWrite, 9)).outcome, Vm::Outcome::kTrap);
 }
 
 TEST(Vm, WatchdogStopsRunawayHandler) {
@@ -323,12 +334,15 @@ TEST(Vm, WatchdogStopsRunawayHandler) {
 device 1;
 int32_t i;
 event init():
-    while true:
-        i += 1;
+    i = 0;
 event destroy():
     i = 0;
+event write(int32_t value):
+    while value != 0:
+        i += 1;
 )");
-  Vm::ExecResult result = fx.Run(Event::Of(kEventInit));
+  EXPECT_EQ(fx.Run(Event::Of(kEventWrite, 0)).outcome, Vm::Outcome::kDone);
+  Vm::ExecResult result = fx.Run(Event::Of(kEventWrite, 1));
   EXPECT_EQ(result.outcome, Vm::Outcome::kTrap);
   EXPECT_NE(result.trap.message().find("watchdog"), std::string::npos);
 }
