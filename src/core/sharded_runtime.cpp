@@ -1,0 +1,143 @@
+#include "src/core/sharded_runtime.h"
+
+#include <algorithm>
+
+namespace micropnp {
+
+namespace {
+constexpr uint64_t kMinQuantumNs = 50'000;       // 50 us
+constexpr uint64_t kMaxQuantumNs = 10'000'000;   // 10 ms
+}  // namespace
+
+ShardedRuntime::ShardedRuntime(uint32_t num_shards, uint64_t seed, size_t inbox_capacity) {
+  const uint32_t n = num_shards == 0 ? 1 : num_shards;
+  Rng derive(seed);
+  shards_.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>(i, derive.Fork(i).NextU64(), inbox_capacity));
+  }
+}
+
+ShardedRuntime::~ShardedRuntime() { StopWorkers(); }
+
+std::vector<Shard*> ShardedRuntime::shard_pointers() {
+  std::vector<Shard*> out;
+  out.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    out.push_back(shard.get());
+  }
+  return out;
+}
+
+void ShardedRuntime::set_quantum_ms(double quantum_ms) {
+  const uint64_t ns = SimTime::FromMillis(std::max(quantum_ms, 0.0)).nanos();
+  quantum_ns_ = std::clamp(ns, kMinQuantumNs, kMaxQuantumNs);
+}
+
+void ShardedRuntime::StartWorkers() {
+  if (workers_running() || shards_.size() < 2) {
+    return;
+  }
+  stop_.store(false, std::memory_order_relaxed);
+  const auto participants = static_cast<std::ptrdiff_t>(shards_.size() + 1);
+  start_barrier_ = std::make_unique<std::barrier<>>(participants);
+  end_barrier_ = std::make_unique<std::barrier<>>(participants);
+  workers_.reserve(shards_.size());
+  for (uint32_t i = 0; i < shards_.size(); ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+void ShardedRuntime::StopWorkers() {
+  if (!workers_running()) {
+    return;
+  }
+  stop_.store(true, std::memory_order_relaxed);
+  start_barrier_->arrive_and_wait();  // releases workers into the stop check
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+  workers_.clear();
+  start_barrier_.reset();
+  end_barrier_.reset();
+}
+
+void ShardedRuntime::WorkerLoop(uint32_t index) {
+  Shard& shard = *shards_[index];
+  Shard::ScopedCurrent scoped(&shard);
+  while (true) {
+    start_barrier_->arrive_and_wait();
+    if (stop_.load(std::memory_order_relaxed)) {
+      break;
+    }
+    RunShardQuantum(shard, quantum_end_ns_.load(std::memory_order_relaxed));
+    end_barrier_->arrive_and_wait();
+  }
+}
+
+void ShardedRuntime::RunShardQuantum(Shard& shard, uint64_t quantum_end_ns) {
+  shard.DrainInbox();
+  shard.scheduler().RunUntil(SimTime::FromNanos(quantum_end_ns));
+}
+
+void ShardedRuntime::RunQuantaTo(uint64_t target_ns) {
+  uint64_t now_ns = shards_[0]->scheduler().now().nanos();
+  while (now_ns < target_ns) {
+    const uint64_t quantum_end = std::min(target_ns, now_ns + quantum_ns_);
+    if (workers_running()) {
+      quantum_end_ns_.store(quantum_end, std::memory_order_relaxed);
+      start_barrier_->arrive_and_wait();
+      end_barrier_->arrive_and_wait();
+    } else {
+      for (auto& shard : shards_) {
+        Shard::ScopedCurrent scoped(shard.get());
+        RunShardQuantum(*shard, quantum_end);
+      }
+    }
+    now_ns = quantum_end;
+  }
+}
+
+void ShardedRuntime::RunForMillis(double ms) {
+  RunQuantaTo(shards_[0]->scheduler().now().nanos() + SimTime::FromMillis(ms).nanos());
+}
+
+bool ShardedRuntime::RunUntilIdle(double max_ms) {
+  const uint64_t limit_ns =
+      shards_[0]->scheduler().now().nanos() + SimTime::FromMillis(max_ms).nanos();
+  while (!AllIdle()) {
+    const uint64_t now_ns = shards_[0]->scheduler().now().nanos();
+    if (now_ns >= limit_ns) {
+      return false;
+    }
+    RunQuantaTo(std::min(limit_ns, now_ns + quantum_ns_));
+  }
+  return true;
+}
+
+bool ShardedRuntime::AllIdle() const {
+  for (const auto& shard : shards_) {
+    if (!shard->idle()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+uint64_t ShardedRuntime::TotalExecuted() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->scheduler().executed();
+  }
+  return total;
+}
+
+uint64_t ShardedRuntime::TotalDroppedPosts() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->dropped_posts();
+  }
+  return total;
+}
+
+}  // namespace micropnp

@@ -1,0 +1,110 @@
+// ShardedRuntime: conservative lockstep coordinator for the parallel runtime.
+//
+// The reproduction is a discrete-event simulation, so "run it on N cores"
+// means parallel discrete-event simulation.  This coordinator uses the
+// classic conservative (Chandy–Misra-style) synchronous-window scheme:
+//
+//   * every shard owns a timing-wheel Scheduler with its own clock;
+//   * simulated time advances in lockstep quanta of `quantum` width — within
+//     a quantum each worker drains its MPSC inbox into its wheel and runs its
+//     local events up to the quantum boundary, then waits at a barrier;
+//   * the quantum is bounded by the *lookahead*: the minimum simulated
+//     latency any cross-shard event can have.  In this system every
+//     cross-shard event is a datagram delivery, whose latency is at least
+//     sender stack processing + CSMA backoff + airtime + receiver stack
+//     processing (~2 ms with the default 802.15.4 link model).  An event a
+//     shard emits during quantum [t, t+q) therefore has a due time >= t+q,
+//     i.e. it is always drained by the receiving shard *before* the quantum
+//     that could execute it — no shard ever receives an event in its past,
+//     and the parallel simulation computes the same physics as the
+//     sequential one (modulo tie order of equal-timestamp events and the
+//     per-shard rng streams).
+//
+// The same quantum loop runs in two modes:
+//   * sequential (no worker threads): the calling thread plays each shard in
+//     turn.  Used for deterministic bring-up and by tests.
+//   * parallel (StartWorkers .. StopWorkers): one thread per shard, two
+//     barrier crossings per quantum.  Workers park at the start barrier
+//     between RunForMillis calls, so the coordinator may freely inspect
+//     shard state whenever RunForMillis is not executing (the barrier
+//     crossings give the necessary happens-before edges).
+
+#ifndef SRC_CORE_SHARDED_RUNTIME_H_
+#define SRC_CORE_SHARDED_RUNTIME_H_
+
+#include <atomic>
+#include <barrier>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/rt/shard.h"
+
+namespace micropnp {
+
+class ShardedRuntime {
+ public:
+  ShardedRuntime(uint32_t num_shards, uint64_t seed, size_t inbox_capacity = 1 << 16);
+  ~ShardedRuntime();
+
+  ShardedRuntime(const ShardedRuntime&) = delete;
+  ShardedRuntime& operator=(const ShardedRuntime&) = delete;
+
+  uint32_t num_shards() const { return static_cast<uint32_t>(shards_.size()); }
+  Shard& shard(uint32_t index) { return *shards_[index]; }
+  const Shard& shard(uint32_t index) const { return *shards_[index]; }
+  std::vector<Shard*> shard_pointers();
+
+  // Stable affinity: shard index for a precomputed address hash.
+  uint32_t ShardOfHash(size_t hash) const {
+    return static_cast<uint32_t>(hash % shards_.size());
+  }
+
+  // All shard clocks agree whenever the runtime is not mid-RunForMillis.
+  SimTime now() const { return shards_[0]->scheduler().now(); }
+
+  // Lookahead bound (see file comment).  Must not exceed the minimum
+  // cross-shard event latency; the Deployment derives it from the fabric's
+  // link model before each run.  Clamped to [50 us, 10 ms].
+  void set_quantum_ms(double quantum_ms);
+  double quantum_ms() const { return static_cast<double>(quantum_ns_) * 1e-6; }
+
+  // --- worker lifecycle -------------------------------------------------------
+  void StartWorkers();
+  void StopWorkers();
+  bool workers_running() const { return !workers_.empty(); }
+
+  // --- lockstep execution -----------------------------------------------------
+  // Advances every shard to now + ms (parallel when workers are running,
+  // sequential otherwise).  On return all shard clocks equal now + ms.
+  void RunForMillis(double ms);
+  // Runs quanta until every shard's wheel and inbox are empty, giving up
+  // after `max_ms` of simulated time.  Returns true when fully idle.
+  bool RunUntilIdle(double max_ms = 600000.0);
+
+  bool AllIdle() const;
+  // Total events executed across all shards.
+  uint64_t TotalExecuted() const;
+  // Cross-shard posts rejected by a full inbox across all shards.
+  uint64_t TotalDroppedPosts() const;
+
+ private:
+  void RunQuantaTo(uint64_t target_ns);
+  void RunShardQuantum(Shard& shard, uint64_t quantum_end_ns);
+  void WorkerLoop(uint32_t index);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  uint64_t quantum_ns_ = 1'500'000;  // 1.5 ms: safe for the default link model
+
+  std::vector<std::thread> workers_;
+  // Two-phase handshake per quantum; count = workers + coordinator.
+  std::unique_ptr<std::barrier<>> start_barrier_;
+  std::unique_ptr<std::barrier<>> end_barrier_;
+  std::atomic<uint64_t> quantum_end_ns_{0};
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace micropnp
+
+#endif  // SRC_CORE_SHARDED_RUNTIME_H_

@@ -9,12 +9,12 @@ namespace micropnp {
 
 MicroPnpThing::MicroPnpThing(Scheduler& scheduler, NetNode* node,
                              const ControlBoardConfig& board_config, uint64_t seed,
-                             const ThingConfig& config)
+                             const ThingConfig& config, SharedDecodeCache* decode_cache)
     : scheduler_(scheduler),
       node_(node),
       config_(config),
       rng_(seed),
-      driver_manager_(scheduler, router_),
+      driver_manager_(scheduler, router_, decode_cache),
       controller_(scheduler, board_config, rng_),
       endpoint_(scheduler, node) {
   controller_.set_change_listener([this](ChannelId ch, DeviceTypeId id, bool connected) {

@@ -101,8 +101,12 @@ struct PlugFlowMarks {
 
 class MicroPnpThing {
  public:
+  // `decode_cache` (optional) shares verified decoded driver images across
+  // all Things in the process (see SharedDecodeCache); it must outlive the
+  // Thing.
   MicroPnpThing(Scheduler& scheduler, NetNode* node, const ControlBoardConfig& board_config,
-                uint64_t seed, const ThingConfig& config = ThingConfig{});
+                uint64_t seed, const ThingConfig& config = ThingConfig{},
+                SharedDecodeCache* decode_cache = nullptr);
 
   // --- local hardware access ------------------------------------------------
   Status Plug(ChannelId channel, Peripheral* peripheral);

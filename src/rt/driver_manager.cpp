@@ -1,17 +1,71 @@
 #include "src/rt/driver_manager.h"
 
 #include <iterator>
+#include <mutex>
 
 namespace micropnp {
 
-DriverManager::DriverManager(Scheduler& scheduler, EventRouter& router)
-    : scheduler_(scheduler), router_(router) {
+Result<std::shared_ptr<const DecodedImage>> SharedDecodeCache::GetOrDecode(
+    const DriverImage& image, bool* hit) {
+  const uint32_t crc = image.ImageCrc();
+  {
+    std::lock_guard lock(mutex_);
+    auto it = by_crc_.find(crc);
+    if (it != by_crc_.end() && it->second->image() == image) {
+      ++hits_;
+      if (hit != nullptr) {
+        *hit = true;
+      }
+      return it->second;
+    }
+  }
+  // Decode outside the lock: verification is the expensive part, and two
+  // shards racing on the same new image just do the work twice, once ever.
+  Result<std::shared_ptr<const DecodedImage>> result = DecodedImage::DecodeShared(image, crc);
+  if (!result.ok()) {
+    return result;
+  }
+  std::lock_guard lock(mutex_);
+  ++misses_;
+  if (hit != nullptr) {
+    *hit = false;
+  }
+  by_crc_[crc] = *result;  // latest wins on CRC collision / decode race
+  return result;
+}
+
+uint64_t SharedDecodeCache::hits() const {
+  std::lock_guard lock(mutex_);
+  return hits_;
+}
+
+uint64_t SharedDecodeCache::misses() const {
+  std::lock_guard lock(mutex_);
+  return misses_;
+}
+
+DriverManager::DriverManager(Scheduler& scheduler, EventRouter& router,
+                             SharedDecodeCache* shared_cache)
+    : scheduler_(scheduler), router_(router), shared_cache_(shared_cache) {
   router_.set_on_post([this] { SchedulePump(); });
 }
 
 Status DriverManager::InstallImage(const DriverImage& image) {
   if (image.device_id == kDeviceTypeAllPeripherals || image.device_id == kDeviceTypeAllClients) {
     return InvalidArgument("reserved device type id");
+  }
+  if (shared_cache_ != nullptr) {
+    bool hit = false;
+    Result<std::shared_ptr<const DecodedImage>> result = shared_cache_->GetOrDecode(image, &hit);
+    if (!result.ok()) {
+      return result.status();
+    }
+    if (hit) {
+      ++decode_cache_hits_;
+    }
+    images_[image.device_id] = *result;
+    ++installs_;
+    return OkStatus();
   }
   const uint32_t crc = image.ImageCrc();
   std::shared_ptr<const DecodedImage> decoded;

@@ -22,12 +22,38 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "src/rt/decoded_image.h"
 #include "src/rt/driver_host.h"
 
 namespace micropnp {
+
+// Process-wide verify-once store of decoded driver images, shared by every
+// driver manager in a deployment (across runtime shards).  A fleet of 10k
+// Things installing the same driver verifies and decodes it exactly once;
+// everyone else gets the shared immutable DecodedImage.
+//
+// Thread-safety: the mutex guards only the CRC -> image map on the install
+// path.  A DecodedImage is immutable after decode, so shards execute from
+// shared images lock-free; the shared_ptr control block handles lifetime.
+// Hits byte-compare against the stored image so a CRC collision can never
+// bypass verification.
+class SharedDecodeCache {
+ public:
+  Result<std::shared_ptr<const DecodedImage>> GetOrDecode(const DriverImage& image, bool* hit);
+
+  uint64_t hits() const;
+  uint64_t misses() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<uint32_t, std::shared_ptr<const DecodedImage>> by_crc_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
 
 class DriverManager {
  public:
@@ -36,7 +62,11 @@ class DriverManager {
   // long-lived node cannot grow memory without bound.
   static constexpr size_t kDecodeCacheCapacity = 32;
 
-  DriverManager(Scheduler& scheduler, EventRouter& router);
+  // `shared_cache` (optional) is consulted before the local decode cache;
+  // it must outlive the manager.  The sharded Deployment passes one cache
+  // to every Thing so identical images decode once per process.
+  DriverManager(Scheduler& scheduler, EventRouter& router,
+                SharedDecodeCache* shared_cache = nullptr);
 
   // ---- driver image store (remote DEPLOY/REMOVE/DISCOVER) -----------------
   // Verifies + decodes the image; statically invalid images are rejected
@@ -77,6 +107,7 @@ class DriverManager {
 
   Scheduler& scheduler_;
   EventRouter& router_;
+  SharedDecodeCache* shared_cache_;
   std::map<DeviceTypeId, std::shared_ptr<const DecodedImage>> images_;
   // Verified+decoded images by image CRC (hits also byte-compare, so a CRC
   // collision cannot bypass verification).  Survives RemoveImage so a

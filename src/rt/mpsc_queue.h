@@ -1,0 +1,119 @@
+// Bounded multi-producer single-consumer queue — the only channel through
+// which work crosses a shard boundary in the parallel runtime.
+//
+// Producers are worker threads of *other* shards handing off datagram
+// deliveries (and, rarely, control closures) to the owning shard; the single
+// consumer is the owning shard's worker, which drains the whole queue once
+// per synchronization quantum and feeds the entries into its local timing
+// wheel.  The traffic pattern is therefore bursty batch-drain, not
+// item-at-a-time ping-pong, so a short critical section around a grow-free
+// ring keeps producers wait-bounded without the memory-reclamation hazards of
+// a lock-free list.
+//
+// Contract:
+//  * TryPush never blocks.  A full or closed queue rejects the item (counted;
+//    the caller decides whether that means "drop the frame" — the network
+//    fabric treats overflow like a lost datagram, which keeps the system
+//    deadlock-free even if a consumer stalls at a barrier).
+//  * FIFO per producer: a producer's items are drained in the order it pushed
+//    them (the queue is in fact globally FIFO in lock-acquisition order).
+//  * Drain-on-shutdown: Close() fails further pushes but leaves everything
+//    already queued drainable, so shutdown cannot strand accepted work.
+
+#ifndef SRC_RT_MPSC_QUEUE_H_
+#define SRC_RT_MPSC_QUEUE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace micropnp {
+
+template <typename T>
+class MpscQueue {
+ public:
+  explicit MpscQueue(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
+    items_.reserve(capacity_ < 4096 ? capacity_ : 4096);
+  }
+
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  // Producer side (any thread).  Returns false — leaving the queue unchanged —
+  // when the queue is full or closed; both rejections are counted.
+  bool TryPush(T item) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) {
+      ++rejected_closed_;
+      return false;
+    }
+    if (items_.size() >= capacity_) {
+      ++rejected_full_;
+      return false;
+    }
+    items_.push_back(std::move(item));
+    return true;
+  }
+
+  // Consumer side (owning thread only).  Moves every queued item into `out`
+  // (appended, oldest first) and returns how many were moved.
+  size_t DrainInto(std::vector<T>& out) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const size_t n = items_.size();
+    if (n == 0) {
+      return 0;
+    }
+    if (out.empty()) {
+      out.swap(items_);
+    } else {
+      out.reserve(out.size() + n);
+      for (T& item : items_) {
+        out.push_back(std::move(item));
+      }
+      items_.clear();
+    }
+    return n;
+  }
+
+  // Fails all future pushes.  Items already accepted remain drainable.
+  void Close() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+  uint64_t rejected_full() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return rejected_full_;
+  }
+
+  uint64_t rejected_closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return rejected_closed_;
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<T> items_;
+  bool closed_ = false;
+  uint64_t rejected_full_ = 0;
+  uint64_t rejected_closed_ = 0;
+};
+
+}  // namespace micropnp
+
+#endif  // SRC_RT_MPSC_QUEUE_H_

@@ -1,0 +1,17 @@
+#include "src/rt/shard.h"
+
+namespace micropnp {
+
+namespace {
+thread_local Shard* t_current_shard = nullptr;
+}  // namespace
+
+Shard* Shard::Current() { return t_current_shard; }
+
+Shard::ScopedCurrent::ScopedCurrent(Shard* shard) : previous_(t_current_shard) {
+  t_current_shard = shard;
+}
+
+Shard::ScopedCurrent::~ScopedCurrent() { t_current_shard = previous_; }
+
+}  // namespace micropnp

@@ -1,0 +1,122 @@
+// A shard: one worker thread's slice of the parallel runtime.
+//
+// The sharded runtime partitions Things / driver hosts across workers with
+// stable affinity (hash of the device address).  Each shard owns, exclusively
+// and without locks:
+//
+//  * a timing-wheel Scheduler — all timers and datagram deliveries for the
+//    shard's nodes run here, so retransmit timers, trickle ladders, stream
+//    ticks and reply matching never cross a lock;
+//  * an Rng stream (see src/common/rng.h for the shard-confinement contract);
+//  * a bounded MPSC inbox through which *other* shards hand it timed work
+//    (cross-shard datagram deliveries, each stamped with an absolute due
+//    time computed by the sender).
+//
+// Shard state may only be touched by its owner: the worker thread while the
+// runtime is running in parallel, or whichever single thread is driving the
+// sequential fallback / bring-up.  The one exception is PostAt, which is the
+// multi-producer side of the inbox and safe from any thread.
+//
+// Ownership is tracked with a thread-local "current shard" pointer
+// (Shard::Current), installed by the worker loop and by the sequential
+// driver.  Cross-cutting code (the network fabric) uses it to pick the
+// per-shard scratch context and to decide local-schedule vs inbox hand-off.
+
+#ifndef SRC_RT_SHARD_H_
+#define SRC_RT_SHARD_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/rt/mpsc_queue.h"
+#include "src/sim/scheduler.h"
+
+namespace micropnp {
+
+// A closure to run at an absolute simulated time on the receiving shard.
+struct TimedCall {
+  uint64_t due_ns = 0;
+  std::function<void()> fn;
+};
+
+class Shard {
+ public:
+  Shard(uint32_t id, uint64_t seed, size_t inbox_capacity)
+      : id_(id), rng_(seed), inbox_(inbox_capacity) {}
+
+  Shard(const Shard&) = delete;
+  Shard& operator=(const Shard&) = delete;
+
+  uint32_t id() const { return id_; }
+  Scheduler& scheduler() { return scheduler_; }
+  const Scheduler& scheduler() const { return scheduler_; }
+  Rng& rng() { return rng_; }
+
+  // --- cross-shard hand-off (any thread) -------------------------------------
+  // Enqueues `fn` to run on this shard at absolute time `due_ns`.  The
+  // conservative-synchronization invariant requires due_ns to lie at or past
+  // the end of the quantum in which the producer runs (the fabric guarantees
+  // this: cross-shard latency >= the runtime's quantum).  Returns false when
+  // the inbox is full (counted; the caller treats it like a lost frame).
+  bool PostAt(uint64_t due_ns, std::function<void()> fn) {
+    if (inbox_.TryPush(TimedCall{due_ns, std::move(fn)})) {
+      return true;
+    }
+    dropped_posts_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
+  // --- owner-side operations --------------------------------------------------
+  // Moves every queued inbox entry into the local wheel.  Entries with a due
+  // time already in the past (possible only if a producer violated the
+  // lookahead contract) are clamped to "now" by the scheduler.
+  size_t DrainInbox() {
+    drain_buffer_.clear();
+    const size_t n = inbox_.DrainInto(drain_buffer_);
+    for (TimedCall& call : drain_buffer_) {
+      scheduler_.ScheduleAt(SimTime::FromNanos(call.due_ns), std::move(call.fn));
+    }
+    drain_buffer_.clear();
+    return n;
+  }
+
+  bool idle() const { return scheduler_.empty() && inbox_.size() == 0; }
+
+  void CloseInbox() { inbox_.Close(); }
+
+  uint64_t dropped_posts() const { return dropped_posts_.load(std::memory_order_relaxed); }
+  uint64_t inbox_rejected_full() const { return inbox_.rejected_full(); }
+
+  // --- thread-local ownership -------------------------------------------------
+  // The shard whose events the calling thread is currently executing, or
+  // nullptr outside any shard context (e.g. the main thread during setup).
+  static Shard* Current();
+
+  // RAII: installs `shard` as the calling thread's current shard.
+  class ScopedCurrent {
+   public:
+    explicit ScopedCurrent(Shard* shard);
+    ~ScopedCurrent();
+    ScopedCurrent(const ScopedCurrent&) = delete;
+    ScopedCurrent& operator=(const ScopedCurrent&) = delete;
+
+   private:
+    Shard* previous_;
+  };
+
+ private:
+  const uint32_t id_;
+  Scheduler scheduler_;
+  Rng rng_;
+  MpscQueue<TimedCall> inbox_;
+  std::vector<TimedCall> drain_buffer_;  // owner-only scratch
+  std::atomic<uint64_t> dropped_posts_{0};
+};
+
+}  // namespace micropnp
+
+#endif  // SRC_RT_SHARD_H_

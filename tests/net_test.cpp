@@ -220,6 +220,41 @@ TEST_F(FabricTest, LossDropsDatagrams) {
   EXPECT_GT(fabric_.frames_lost(), 0u);
 }
 
+TEST_F(FabricTest, ScratchReuseAcrossBackToBackRoutes) {
+  // Regression for the routing scratch buffers (RouteContext): the fabric
+  // reuses path/descent vectors across Route calls to avoid per-datagram
+  // allocation.  A stale-length bug would surface exactly here: a long
+  // multi-hop unicast, then a multicast descent, then a short unicast, all
+  // from the same context — each must see only its own path.
+  int at_b = 0, at_c = 0;
+  b_->BindUdp(6030, [&](const Ip6Address&, const Ip6Address&, uint16_t,
+                        const std::vector<uint8_t>&) { ++at_b; });
+  c_->BindUdp(6030, [&](const Ip6Address&, const Ip6Address&, uint16_t,
+                        const std::vector<uint8_t>&) { ++at_c; });
+  Ip6Address group = PeripheralGroup(PrefixOf(root_->address()), 0x55);
+  b_->JoinGroup(group);
+
+  c_->SendUdp(b_->address(), 6030, {1});  // 3 hops: c -> a -> root -> b
+  c_->SendUdp(group, 6030, {2});          // SMRF climb + descend
+  a_->SendUdp(c_->address(), 6030, {3});  // 1 hop, shorter than the first path
+  sched_.Run();
+  EXPECT_EQ(at_b, 2);  // unicast + multicast
+  EXPECT_EQ(at_c, 1);
+
+  // Route-from-delivery (reply on receive) is the reentrancy pattern the
+  // in_route assert guards: deliveries are scheduled, never inline, so the
+  // reply's Route starts with clean scratch rather than clobbering the
+  // in-progress descent.
+  int replies = 0;
+  b_->BindUdp(7001, [&](const Ip6Address& src, const Ip6Address&, uint16_t,
+                        const std::vector<uint8_t>&) { b_->SendUdp(src, 7002, {0xcc}); });
+  c_->BindUdp(7002, [&](const Ip6Address&, const Ip6Address&, uint16_t,
+                        const std::vector<uint8_t>&) { ++replies; });
+  c_->SendUdp(b_->address(), 7001, {0xaa});
+  sched_.Run();
+  EXPECT_EQ(replies, 1);
+}
+
 TEST_F(FabricTest, SelfSendLoopsBack) {
   int received = 0;
   a_->BindUdp(6030, [&](const Ip6Address&, const Ip6Address&, uint16_t,
