@@ -28,6 +28,7 @@ enum class TlvType : uint8_t {
   kChannel = 0x06,         // u8 physical channel the peripheral occupies
   kStreamPeriodMs = 0x07,  // u32 streaming period hint
   kLocation = 0x08,        // UTF-8 free-form deployment location
+  kModelFacets = 0x09,     // u16 device-model facets (src/model/device_model.h)
 };
 
 struct Tlv {

@@ -1,0 +1,438 @@
+#include "src/core/model_bench.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <memory>
+
+#include "src/core/deployment.h"
+#include "src/core/driver_sources.h"
+#include "src/dsl/compiler.h"
+#include "src/model/model_server.h"
+
+namespace micropnp {
+
+namespace {
+
+double Percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) {
+    return 0.0;
+  }
+  const size_t idx = static_cast<size_t>(p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+void AppendField(std::string& out, const char* key, uint64_t value, bool last = false) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "\"%s\": %llu%s", key,
+                static_cast<unsigned long long>(value), last ? "" : ", ");
+  out += buf;
+}
+
+void AppendField(std::string& out, const char* key, double value, bool last = false) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "\"%s\": %.6f%s", key, value, last ? "" : ", ");
+  out += buf;
+}
+
+void AppendDeterministicCell(std::string& out, const ModelBenchResult& r) {
+  out += "{";
+  AppendField(out, "num_things", static_cast<uint64_t>(r.num_things));
+  AppendField(out, "num_clients", static_cast<uint64_t>(r.num_clients));
+  AppendField(out, "loss_rate", r.loss_rate);
+  AppendField(out, "seed", r.seed);
+  AppendField(out, "fleet_size", r.fleet_size);
+  AppendField(out, "reads", r.reads);
+  AppendField(out, "cache_hits", r.cache_hits);
+  AppendField(out, "cache_misses", r.cache_misses);
+  AppendField(out, "coalesced_reads", r.coalesced_reads);
+  AppendField(out, "device_reads", r.device_reads);
+  AppendField(out, "read_failures", r.read_failures);
+  AppendField(out, "writes", r.writes);
+  AppendField(out, "device_writes", r.device_writes);
+  AppendField(out, "write_failures", r.write_failures);
+  AppendField(out, "hit_rate", r.hit_rate);
+  AppendField(out, "amplification", r.amplification);
+  AppendField(out, "hotspot_reads", r.hotspot_reads);
+  AppendField(out, "hotspot_device_reads", r.hotspot_device_reads);
+  AppendField(out, "subscriptions", r.subscriptions);
+  AppendField(out, "upstream_events", r.upstream_events);
+  AppendField(out, "fanout_delivered", r.fanout_delivered);
+  AppendField(out, "fanout_expected", r.fanout_expected);
+  AppendField(out, "fanout_exact", r.fanout_exact);
+  AppendField(out, "upstream_restarts", r.upstream_restarts);
+  AppendField(out, "p50_ms", r.p50_ms);
+  AppendField(out, "p99_ms", r.p99_ms);
+  AppendField(out, "sim_duration_ms", r.sim_duration_ms);
+  AppendField(out, "scheduler_events", r.scheduler_events, /*last=*/true);
+  out += "}";
+}
+
+void AppendWallClockCell(std::string& out, const ModelBenchResult& r) {
+  out += "{";
+  AppendField(out, "num_things", static_cast<uint64_t>(r.num_things));
+  AppendField(out, "num_clients", static_cast<uint64_t>(r.num_clients));
+  AppendField(out, "threads", static_cast<uint64_t>(r.threads));
+  AppendField(out, "loss_rate", r.loss_rate);
+  AppendField(out, "wall_seconds", r.wall_seconds);
+  AppendField(out, "reads_per_second", r.reads_per_second);
+  AppendField(out, "fanout_events_per_second", r.fanout_events_per_second, /*last=*/true);
+  out += "}";
+}
+
+struct ThingRef {
+  Ip6Address address;
+  DeviceTypeId device = 0;
+};
+
+// One per shard: a pinned MicroPnpClient, the ModelServer riding it, and
+// this shard's slice of the ModelClients plus its closed-loop pump state.
+struct ServerLoop {
+  MicroPnpClient* client = nullptr;
+  Scheduler* clock = nullptr;
+  std::unique_ptr<ModelServer> server;
+  std::vector<std::unique_ptr<ModelClient>> model_clients;
+  int offset = 0;
+  int budget = 0;  // phase-1 operations owned by this loop
+  int issued = 0;
+  int resolved = 0;
+  bool pumping = false;
+  int hotspot_issued = 0;
+  int hotspot_resolved = 0;
+  bool hotspot_pumping = false;
+  std::vector<double> latencies;
+  std::function<void()> pump;
+};
+
+}  // namespace
+
+ModelBenchResult RunModelBench(const ModelBenchOptions& options) {
+  const int threads = std::max(options.threads, 1);
+  DeploymentConfig config;
+  config.seed = options.seed;
+  config.num_shards = static_cast<uint32_t>(threads);
+  Deployment deployment(config);
+  (void)deployment.AddManager();
+
+  ModelServerConfig server_config;
+  server_config.default_ttl_ms = options.ttl_ms;
+  server_config.stream_period_ms = options.stream_period_ms;
+
+  const int per_window = std::max(1, options.read_window / threads);
+  std::vector<std::unique_ptr<ServerLoop>> loops;
+  loops.reserve(static_cast<size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    auto loop = std::make_unique<ServerLoop>();
+    loop->client = &deployment.AddClient(
+        "model-gw-" + std::to_string(i), nullptr,
+        /*max_in_flight=*/static_cast<size_t>(per_window) + 64,
+        /*shard_pin=*/threads > 1 ? i : -1);
+    loop->clock = threads > 1 ? &deployment.runtime()->shard(static_cast<uint32_t>(i)).scheduler()
+                              : &deployment.scheduler();
+    loop->server = std::make_unique<ModelServer>(*loop->clock, *loop->client,
+                                                 ModelCatalog::BuiltIn(), server_config);
+    loop->offset = i;
+    loop->budget =
+        options.total_reads / threads + (i < options.total_reads % threads ? 1 : 0);
+    const int clients =
+        options.num_clients / threads + (i < options.num_clients % threads ? 1 : 0);
+    loop->model_clients.reserve(static_cast<size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      loop->model_clients.push_back(std::make_unique<ModelClient>(*loop->server));
+    }
+    loops.push_back(std::move(loop));
+  }
+
+  // Fleet bring-up: mostly TMP36 sensors, every 8th Thing a writable relay.
+  // Drivers are preinstalled (the OTA path is bench_multihop's subject) and
+  // re-advertisement trickle is off; the servers learn the fleet from the
+  // plug-time unsolicited (1)s — the advertisement-driven tracking path.
+  ThingConfig thing_config;
+  thing_config.readvertise_min_ms = 0.0;
+  Result<DriverImage> tmp36_image = CompileDriver(FindBundledDriver(kTmp36TypeId)->source);
+  Result<DriverImage> relay_image = CompileDriver(FindBundledDriver(kRelayTypeId)->source);
+  std::vector<ThingRef> things;
+  std::vector<size_t> relay_things;
+  things.reserve(static_cast<size_t>(options.num_things));
+  for (int i = 0; i < options.num_things; ++i) {
+    const bool is_relay = i % 8 == 7;
+    MicroPnpThing& thing =
+        deployment.AddThing("thing-" + std::to_string(i), nullptr, thing_config);
+    Status plugged;
+    if (is_relay) {
+      (void)thing.PreinstallDriver(*relay_image);
+      plugged = thing.Plug(0, &deployment.MakeRelay());
+    } else {
+      (void)thing.PreinstallDriver(*tmp36_image);
+      plugged = thing.Plug(0, &deployment.MakeTmp36());
+    }
+    if (plugged.ok()) {
+      if (is_relay) {
+        relay_things.push_back(things.size());
+      }
+      things.push_back(ThingRef{thing.node().address(), is_relay ? kRelayTypeId : kTmp36TypeId});
+    }
+  }
+  deployment.RunForMillis(1000);
+
+  LinkModel lossy = config.link;
+  lossy.loss_rate = options.loss_rate;
+  deployment.fabric().set_link(lossy);
+
+  ModelBenchResult result;
+  result.num_things = options.num_things;
+  result.num_clients = options.num_clients;
+  result.threads = threads;
+  result.loss_rate = options.loss_rate;
+  result.seed = options.seed;
+  for (const auto& loop : loops) {
+    result.fleet_size += loop->server->fleet_size();
+  }
+  if (things.empty() || options.num_clients <= 0) {
+    return result;
+  }
+
+  auto sum_counters = [&loops] {
+    ModelServerCounters total;
+    for (const auto& loop : loops) {
+      const ModelServerCounters& c = loop->server->counters();
+      total.reads += c.reads;
+      total.cache_hits += c.cache_hits;
+      total.cache_misses += c.cache_misses;
+      total.coalesced_reads += c.coalesced_reads;
+      total.device_reads += c.device_reads;
+      total.read_failures += c.read_failures;
+      total.writes += c.writes;
+      total.device_writes += c.device_writes;
+      total.write_failures += c.write_failures;
+      total.fanout_delivered += c.fanout_delivered;
+      total.upstream_events += c.upstream_events;
+      total.upstream_restarts += c.upstream_restarts;
+    }
+    return total;
+  };
+  auto run_phase = [&](const std::function<bool()>& done, double guard_ms) {
+    if (threads > 1) {
+      deployment.StartShardWorkers();
+    }
+    while (!done() && deployment.NowMillis() < guard_ms) {
+      deployment.RunForMillis(500.0);
+    }
+    if (threads > 1) {
+      deployment.StopShardWorkers();
+    }
+  };
+
+  const uint64_t events_before =
+      threads > 1 ? deployment.runtime()->TotalExecuted() : deployment.scheduler().executed();
+  const double sim_start_ms = deployment.NowMillis();
+
+  // ---- phase 1: closed-loop read/write mix ---------------------------------
+  for (auto& loop_ptr : loops) {
+    ServerLoop& loop = *loop_ptr;
+    loop.pump = [&loop, &things, &relay_things, &options, threads, per_window] {
+      if (loop.pumping) {
+        return;
+      }
+      // Cache hits complete synchronously, so recursing from the completion
+      // callback would nest `budget` deep; the flag flattens the loop into
+      // an iterative pump.
+      loop.pumping = true;
+      while (loop.issued < loop.budget && loop.issued - loop.resolved < per_window) {
+        const int global_op = loop.offset + loop.issued * threads;
+        ++loop.issued;
+        ModelClient& actor =
+            *loop.model_clients[static_cast<size_t>(global_op) % loop.model_clients.size()];
+        const bool is_write = options.write_every > 0 && !relay_things.empty() &&
+                              (global_op + 1) % options.write_every == 0;
+        if (is_write) {
+          const ThingRef& target = things[relay_things[static_cast<size_t>(
+              global_op / options.write_every) % relay_things.size()]];
+          actor.WriteValue(target.address, target.device, global_op % 2, [&loop](Status) {
+            ++loop.resolved;
+            loop.pump();
+          });
+        } else {
+          const ThingRef& target = things[static_cast<size_t>(global_op) % things.size()];
+          const double started_ms = loop.clock->now().millis();
+          actor.ReadValue(target.address, target.device,
+                          [&loop, started_ms](Result<WireValue> value) {
+                            ++loop.resolved;
+                            if (value.ok()) {
+                              loop.latencies.push_back(loop.clock->now().millis() - started_ms);
+                            }
+                            loop.pump();
+                          });
+        }
+      }
+      loop.pumping = false;
+    };
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  for (auto& loop : loops) {
+    loop->pump();
+  }
+  auto all_resolved = [&loops] {
+    for (const auto& loop : loops) {
+      if (loop->resolved < loop->budget) {
+        return false;
+      }
+    }
+    return true;
+  };
+  const double phase1_guard =
+      deployment.NowMillis() +
+      (static_cast<double>(options.total_reads) + 1.0) * (2000.0 + 1000.0);
+  run_phase(all_resolved, phase1_guard);
+
+  // ---- phase 2: hotspot (every client reads one Thing once) ----------------
+  const ModelServerCounters before_hotspot = sum_counters();
+  const ThingRef hot = things.front();
+  for (auto& loop_ptr : loops) {
+    ServerLoop& loop = *loop_ptr;
+    loop.pump = [&loop, &hot, per_window] {
+      if (loop.hotspot_pumping) {
+        return;
+      }
+      loop.hotspot_pumping = true;
+      const int budget = static_cast<int>(loop.model_clients.size());
+      while (loop.hotspot_issued < budget &&
+             loop.hotspot_issued - loop.hotspot_resolved < per_window) {
+        ModelClient& actor = *loop.model_clients[static_cast<size_t>(loop.hotspot_issued)];
+        ++loop.hotspot_issued;
+        actor.ReadValue(hot.address, hot.device, [&loop](Result<WireValue>) {
+          ++loop.hotspot_resolved;
+          loop.pump();
+        });
+      }
+      loop.hotspot_pumping = false;
+    };
+  }
+  for (auto& loop : loops) {
+    loop->pump();
+  }
+  auto hotspot_resolved = [&loops] {
+    for (const auto& loop : loops) {
+      if (loop->hotspot_resolved < static_cast<int>(loop->model_clients.size())) {
+        return false;
+      }
+    }
+    return true;
+  };
+  run_phase(hotspot_resolved, deployment.NowMillis() + 60000.0);
+  const auto wall_reads_end = std::chrono::steady_clock::now();
+  const ModelServerCounters after_hotspot = sum_counters();
+  result.hotspot_reads = after_hotspot.reads - before_hotspot.reads;
+  result.hotspot_device_reads = after_hotspot.device_reads - before_hotspot.device_reads;
+
+  // ---- phase 3: subscription fan-out ---------------------------------------
+  int client_index = 0;
+  for (auto& loop : loops) {
+    for (auto& actor : loop->model_clients) {
+      const ThingRef& target = things[static_cast<size_t>(client_index++) % things.size()];
+      if (actor->Subscribe(target.address, target.device, [](const WireValue&) {}).ok()) {
+        ++result.subscriptions;
+      }
+    }
+  }
+  const double fanout_until = deployment.NowMillis() + options.stream_phase_ms;
+  const auto wall_fanout_start = std::chrono::steady_clock::now();
+  run_phase([&] { return deployment.NowMillis() >= fanout_until; }, fanout_until + 1.0);
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  // Snapshot the exactly-once ledger while every subscription is still
+  // registered: each fan-out must have delivered every upstream event to
+  // every subscriber, no more, no fewer.
+  for (const auto& loop : loops) {
+    for (const ModelServer::FanoutStat& stat : loop->server->FanoutStats()) {
+      result.fanout_expected += stat.upstream_events * stat.subscribers;
+    }
+  }
+  const ModelServerCounters final_counters = sum_counters();
+  result.reads = final_counters.reads;
+  result.cache_hits = final_counters.cache_hits;
+  result.cache_misses = final_counters.cache_misses;
+  result.coalesced_reads = final_counters.coalesced_reads;
+  result.device_reads = final_counters.device_reads;
+  result.read_failures = final_counters.read_failures;
+  result.writes = final_counters.writes;
+  result.device_writes = final_counters.device_writes;
+  result.write_failures = final_counters.write_failures;
+  result.upstream_events = final_counters.upstream_events;
+  result.fanout_delivered = final_counters.fanout_delivered;
+  result.fanout_exact = result.fanout_delivered == result.fanout_expected ? 1 : 0;
+  result.upstream_restarts = final_counters.upstream_restarts;
+  result.hit_rate =
+      result.reads > 0 ? static_cast<double>(result.cache_hits) / static_cast<double>(result.reads)
+                       : 0.0;
+  result.amplification = result.reads > 0 ? static_cast<double>(result.device_reads) /
+                                                static_cast<double>(result.reads)
+                                          : 0.0;
+  result.sim_duration_ms = deployment.NowMillis() - sim_start_ms;
+  result.scheduler_events =
+      (threads > 1 ? deployment.runtime()->TotalExecuted() : deployment.scheduler().executed()) -
+      events_before;
+
+  std::vector<double> latencies;
+  for (auto& loop : loops) {
+    latencies.insert(latencies.end(), loop->latencies.begin(), loop->latencies.end());
+  }
+  std::sort(latencies.begin(), latencies.end());
+  result.p50_ms = Percentile(latencies, 0.5);
+  result.p99_ms = Percentile(latencies, 0.99);
+
+  result.wall_seconds = std::chrono::duration<double>(wall_end - wall_start).count();
+  const double wall_reads = std::chrono::duration<double>(wall_reads_end - wall_start).count();
+  const double wall_fanout = std::chrono::duration<double>(wall_end - wall_fanout_start).count();
+  result.reads_per_second =
+      wall_reads > 0.0
+          ? static_cast<double>(result.reads + result.writes) / wall_reads
+          : 0.0;
+  result.fanout_events_per_second =
+      wall_fanout > 0.0 ? static_cast<double>(result.fanout_delivered) / wall_fanout : 0.0;
+
+  // Orderly teardown (outside the measured window): drop every subscription
+  // and let the stream stops resolve.
+  for (auto& loop : loops) {
+    for (auto& actor : loop->model_clients) {
+      actor->UnsubscribeAll();
+    }
+  }
+  deployment.RunForMillis(3000);
+  return result;
+}
+
+std::string ModelDeterministicCellsJson(const std::vector<ModelBenchResult>& results) {
+  std::string out = "{\"cells\": [";
+  bool first = true;
+  for (const ModelBenchResult& r : results) {
+    if (r.threads != 1) {
+      continue;
+    }
+    if (!first) {
+      out += ", ";
+    }
+    first = false;
+    AppendDeterministicCell(out, r);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string ModelBenchJson(const std::vector<ModelBenchResult>& results) {
+  std::string out = "{\"bench\": \"model\", \"schema_version\": 1, \"deterministic\": ";
+  out += ModelDeterministicCellsJson(results);
+  out += ", \"wall_clock\": {\"cells\": [";
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (i != 0) {
+      out += ", ";
+    }
+    AppendWallClockCell(out, results[i]);
+  }
+  out += "]}}";
+  return out;
+}
+
+}  // namespace micropnp

@@ -1,5 +1,7 @@
 #include "src/proto/client.h"
 
+#include <algorithm>
+
 #include "src/common/logging.h"
 
 namespace micropnp {
@@ -27,7 +29,16 @@ void MicroPnpClient::Discover(DeviceTypeId device, double window_ms, DiscoveryCa
         std::vector<DiscoveredThing> results;
         results.reserve(replies->size());
         for (auto& [src, reply] : *replies) {
-          if (const auto* ad = reply.payload_as<AdvertisementPayload>()) {
+          const auto* ad = reply.payload_as<AdvertisementPayload>();
+          if (ad == nullptr) {
+            continue;
+          }
+          // A retransmitted (2) can elicit a second (3) from the same Thing;
+          // surface each Thing once (first reply wins).
+          const bool seen = std::any_of(
+              results.begin(), results.end(),
+              [&src = src](const DiscoveredThing& t) { return t.address == src; });
+          if (!seen) {
             results.push_back(DiscoveredThing{src, ad->peripherals});
           }
         }
@@ -112,14 +123,14 @@ void MicroPnpClient::StartStream(const Ip6Address& thing, DeviceTypeId device, u
         }
         // Re-establishing over an existing subscription closes the old one
         // (its on_closed fires) rather than silently dropping its callbacks.
-        CloseStream(device);
+        CloseStream(thing, device);
         const auto* established = reply->payload_as<StreamEstablishedPayload>();
         StreamSub sub;
         sub.group = established->group;
         sub.on_value = std::move(on_value);
         sub.on_closed = std::move(on_closed);
-        node_->JoinGroup(sub.group);
-        streams_[device] = std::move(sub);
+        RefGroup(sub.group);
+        streams_[StreamKey{thing, device}] = std::move(sub);
       },
       stream_options);
 }
@@ -148,21 +159,38 @@ void MicroPnpClient::StopStream(const Ip6Address& thing, DeviceTypeId device,
         if (!reply.ok() && reply.status().code() != StatusCode::kCancelled) {
           endpoint_.SendOneWay(thing, MessageType::kStream, StreamRequestPayload{device, 0});
         }
-        CloseStream(device);
+        CloseStream(thing, device);
       },
       stop_options);
 }
 
-void MicroPnpClient::CloseStream(DeviceTypeId device) {
-  auto it = streams_.find(device);
+void MicroPnpClient::CloseStream(const Ip6Address& thing, DeviceTypeId device) {
+  auto it = streams_.find(StreamKey{thing, device});
   if (it == streams_.end()) {
     return;
   }
   StreamSub sub = std::move(it->second);
   streams_.erase(it);
-  node_->LeaveGroup(sub.group);
+  UnrefGroup(sub.group);
   if (sub.on_closed) {
     sub.on_closed();
+  }
+}
+
+void MicroPnpClient::RefGroup(const Ip6Address& group) {
+  if (++group_refs_[group] == 1) {
+    node_->JoinGroup(group);
+  }
+}
+
+void MicroPnpClient::UnrefGroup(const Ip6Address& group) {
+  auto it = group_refs_.find(group);
+  if (it == group_refs_.end()) {
+    return;
+  }
+  if (--it->second <= 0) {
+    group_refs_.erase(it);
+    node_->LeaveGroup(group);
   }
 }
 
@@ -187,8 +215,10 @@ void MicroPnpClient::OnDatagram(const Ip6Address& src, const Ip6Address& /*dst*/
       return;
     }
     case MessageType::kStreamData: {
+      // (14)s reach the shared per-device-type group; the sending Thing's
+      // unicast source selects the subscription.
       const auto* data = m.payload_as<ValuePayload>();
-      auto it = streams_.find(data->device_id);
+      auto it = streams_.find(StreamKey{src, data->device_id});
       if (it != streams_.end() && it->second.on_value) {
         it->second.on_value(data->value);
       }
@@ -196,8 +226,8 @@ void MicroPnpClient::OnDatagram(const Ip6Address& src, const Ip6Address& /*dst*/
     }
     case MessageType::kStreamClosed: {
       // A (15) we did not request (another client stopped the stream, or
-      // the peripheral was unplugged).
-      CloseStream(m.payload_as<DeviceTargetPayload>()->device_id);
+      // the peripheral was unplugged) — closes only the sender's stream.
+      CloseStream(src, m.payload_as<DeviceTargetPayload>()->device_id);
       return;
     }
     default:

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <utility>
 #include <vector>
 
 #include "src/net/fabric.h"
@@ -40,7 +41,9 @@ class MicroPnpClient {
   // Multicasts (2) to the group of Things carrying `device`, collects (3)
   // responses for `window_ms`, then invokes the callback exactly once: with
   // the Things found (possibly none), or with a non-OK Status (capacity,
-  // cancellation) when the discovery never went on the wire.
+  // cancellation) when the discovery never went on the wire.  Responses are
+  // deduplicated by Thing address — a retransmitted (2) eliciting duplicate
+  // (3)s surfaces each Thing once (first reply wins).
   void Discover(DeviceTypeId device, double window_ms, DiscoveryCallback callback);
 
   // Unsolicited advertisements ((1), pushed on plug/unplug) surface here.
@@ -59,9 +62,7 @@ class MicroPnpClient {
             const RequestOptions& options);
   void Read(const Ip6Address& thing, DeviceTypeId device, ReadCallback callback,
             double timeout_ms = 2000.0) {
-    RequestOptions options;
-    options.deadline_ms = timeout_ms;
-    Read(thing, device, std::move(callback), options);
+    Read(thing, device, std::move(callback), RequestOptions::WithDeadline(timeout_ms));
   }
 
   using WriteCallback = std::function<void(Status)>;
@@ -69,9 +70,7 @@ class MicroPnpClient {
              const RequestOptions& options);
   void Write(const Ip6Address& thing, DeviceTypeId device, int32_t value, WriteCallback callback,
              double timeout_ms = 2000.0) {
-    RequestOptions options;
-    options.deadline_ms = timeout_ms;
-    Write(thing, device, value, std::move(callback), options);
+    Write(thing, device, value, std::move(callback), RequestOptions::WithDeadline(timeout_ms));
   }
 
   using StreamCallback = std::function<void(const WireValue&)>;
@@ -101,16 +100,28 @@ class MicroPnpClient {
     StreamCallback on_value;
     StreamClosedCallback on_closed;
   };
+  // Subscriptions are keyed per (Thing, device): the stream group
+  // PeripheralGroup(prefix, device) is shared by every Thing carrying that
+  // device type, so (14)/(15) are demultiplexed by their unicast source.
+  // This is what lets one client hold concurrent streams to many Things of
+  // the same type (the model layer's fan-out upstream).
+  using StreamKey = std::pair<Ip6Address, DeviceTypeId>;
 
-  // Removes the subscription for `device` (if any), leaves its group, and
+  // Removes the subscription (if any), releases its group reference, and
   // fires on_closed.
-  void CloseStream(DeviceTypeId device);
+  void CloseStream(const Ip6Address& thing, DeviceTypeId device);
+  // Group membership is reference-counted across subscriptions because
+  // NetNode::JoinGroup/LeaveGroup are set-based: two streams of the same
+  // device type share one membership, dropped only with the last stream.
+  void RefGroup(const Ip6Address& group);
+  void UnrefGroup(const Ip6Address& group);
   void OnDatagram(const Ip6Address& src, const Ip6Address& dst, uint16_t port,
                   const std::vector<uint8_t>& payload);
 
   NetNode* node_;
   ProtoEndpoint endpoint_;
-  std::map<DeviceTypeId, StreamSub> streams_;  // established subscriptions
+  std::map<StreamKey, StreamSub> streams_;  // established subscriptions
+  std::map<Ip6Address, int> group_refs_;
   AdvertisementListener advertisement_listener_;
   uint64_t advertisements_seen_ = 0;
 };

@@ -57,6 +57,15 @@ struct RequestOptions {
   // when type + sequence alone cannot prove the reply answers this request,
   // e.g. multicast (15)s or anycast uploads carrying a device id.
   std::function<bool(const Message&)> accept;
+
+  // Defaults with only the deadline overridden — the common caller shape
+  // ("this operation, with this timeout"), shared by every MicroPnpClient
+  // convenience overload.
+  static RequestOptions WithDeadline(double deadline_ms) {
+    RequestOptions options;
+    options.deadline_ms = deadline_ms;
+    return options;
+  }
 };
 
 // Monotonic counters of every transaction outcome and drop decision.

@@ -4,6 +4,7 @@
 
 #include "src/common/crc.h"
 #include "src/common/logging.h"
+#include "src/model/device_model.h"
 
 namespace micropnp {
 
@@ -60,6 +61,12 @@ std::vector<AdvertisedPeripheral> MicroPnpThing::ConnectedPeripherals() const {
     if (peripheral != nullptr) {
       p.info.AddString(TlvType::kFriendlyName, peripheral->name());
       p.info.AddU8(TlvType::kBusKind, static_cast<uint8_t>(peripheral->bus()));
+    }
+    // Model facets from the installed driver's handled events, so a gateway
+    // can type this peripheral without ever having seen its driver.
+    const std::vector<EventId> events = self.driver_manager_.HandledEventsFor(*id);
+    if (!events.empty()) {
+      p.info.AddU16(TlvType::kModelFacets, FacetsFromHandledEvents(events).Encode());
     }
     out.push_back(std::move(p));
   }

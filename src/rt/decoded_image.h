@@ -107,6 +107,18 @@ class DecodedImage {
     return index < 0 ? nullptr : &handlers_[static_cast<size_t>(index)];
   }
 
+  // Event ids this image handles, in handler-table order.  This is the
+  // runtime's model-metadata export: the Thing condenses it into the
+  // kModelFacets TLV of its advertisements (src/model/device_model.h).
+  std::vector<EventId> HandledEvents() const {
+    std::vector<EventId> events;
+    events.reserve(handlers_.size());
+    for (const DecodedHandler& handler : handlers_) {
+      events.push_back(handler.event);
+    }
+    return events;
+  }
+
   // CRC-32 of the serialized image — the decode-cache key: two installs of
   // byte-identical images share one DecodedImage.
   uint32_t crc() const { return crc_; }

@@ -77,6 +77,11 @@ class DriverManager {
   const DriverImage* ImageFor(DeviceTypeId device_id) const;
   std::shared_ptr<const DecodedImage> DecodedFor(DeviceTypeId device_id) const;
   std::vector<DeviceTypeId> InstalledDrivers() const;
+  // Handled-event export for the model layer; empty when no image installed.
+  std::vector<EventId> HandledEventsFor(DeviceTypeId device_id) const {
+    const std::shared_ptr<const DecodedImage> decoded = DecodedFor(device_id);
+    return decoded == nullptr ? std::vector<EventId>{} : decoded->HandledEvents();
+  }
 
   // ---- activation ----------------------------------------------------------
   // Binds the stored image for `device_id` to `channel`, fires init.

@@ -149,6 +149,37 @@ TEST_F(NetworkedSystem, DiscoveryForAbsentPeripheralFindsNothing) {
   EXPECT_TRUE(found.empty());
 }
 
+TEST_F(NetworkedSystem, DiscoveryDeduplicatesRepeatedSolicitedReplies) {
+  // A fake Thing that answers every (2) twice with the same (3) — what a
+  // real Thing produces when a retransmitted discovery elicits a duplicate
+  // reply.  The client must surface the Thing once, not once per datagram.
+  NetNode* fake = deployment_.AddRelayNode("duplicator");
+  fake->JoinGroup(PeripheralGroup(fake->prefix(), kTmp36TypeId));
+  fake->BindUdp(kMicroPnpUdpPort, [fake](const Ip6Address& src, const Ip6Address&, uint16_t,
+                                         const std::vector<uint8_t>& payload) {
+    Result<Message> m = Message::Parse(ByteSpan(payload.data(), payload.size()));
+    if (!m.ok() || m->type != MessageType::kPeripheralDiscovery) {
+      return;
+    }
+    AdvertisedPeripheral p;
+    p.type = kTmp36TypeId;
+    const std::vector<uint8_t> wire =
+        MakeAdvertisement(MessageType::kSolicitedAdvertisement, m->sequence, {p}).Serialize();
+    fake->SendUdp(src, kMicroPnpUdpPort, wire);
+    fake->SendUdp(src, kMicroPnpUdpPort, wire);
+  });
+
+  std::vector<MicroPnpClient::DiscoveredThing> found;
+  client_.Discover(kTmp36TypeId, 500,
+                   [&](Result<std::vector<MicroPnpClient::DiscoveredThing>> results) {
+                     ASSERT_TRUE(results.ok());
+                     found = std::move(*results);
+                   });
+  deployment_.RunForMillis(800);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].address, fake->address());
+}
+
 TEST_F(NetworkedSystem, RemoteReadReturnsEnvironmentTemperature) {
   Tmp36& sensor = deployment_.MakeTmp36();
   PlugAndSettle(0, sensor);
